@@ -1,0 +1,180 @@
+// Benchmarks that regenerate each table and figure of the paper's
+// evaluation, plus throughput benchmarks for the simulation substrates.
+// The experiment benchmarks run at a reduced instance count per iteration
+// (full 200-instance regeneration is cmd/experiments' job) and report the
+// headline numbers as custom metrics.
+package visa_test
+
+import (
+	"testing"
+
+	"visa/internal/cache"
+	"visa/internal/clab"
+	"visa/internal/exec"
+	"visa/internal/memsys"
+	"visa/internal/ooo"
+	"visa/internal/rt"
+	"visa/internal/simple"
+	"visa/internal/wcet"
+)
+
+const benchInstances = 30
+
+// BenchmarkTable3 regenerates the static-analysis/actual-time summary
+// (paper Table 3) and reports the key ratios.
+func BenchmarkTable3(b *testing.B) {
+	var rows []rt.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = rt.Table3(clab.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var wcetOverSim, simOverCx float64
+	for _, r := range rows {
+		wcetOverSim += r.WCETOverSim
+		simOverCx += r.SimOverCmplx
+	}
+	b.ReportMetric(wcetOverSim/float64(len(rows)), "avg-WCET/simple")
+	b.ReportMetric(simOverCx/float64(len(rows)), "avg-simple/complex")
+}
+
+// BenchmarkFigure2 regenerates the headline power-savings comparison
+// (paper Figure 2: 43-61% tight, 22-48% loose) and reports the mean tight
+// savings in percent.
+func BenchmarkFigure2(b *testing.B) {
+	var rows []rt.SavingsRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = rt.Figure2(clab.All(), benchInstances)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var tight, loose float64
+	var nt, nl int
+	for _, r := range rows {
+		if r.Tight {
+			tight += r.Savings
+			nt++
+		} else {
+			loose += r.Savings
+			nl++
+		}
+	}
+	b.ReportMetric(100*tight/float64(nt), "tight-savings-%")
+	b.ReportMetric(100*loose/float64(nl), "loose-savings-%")
+}
+
+// BenchmarkFigure3 regenerates the 1.5x-frequency-advantage what-if
+// (paper Figure 3: savings shrink to 10-38% but persist).
+func BenchmarkFigure3(b *testing.B) {
+	var rows []rt.SavingsRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = rt.Figure3(clab.All(), benchInstances)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.Savings
+	}
+	b.ReportMetric(100*sum/float64(len(rows)), "savings-%")
+}
+
+// BenchmarkFigure4 regenerates the misprediction-injection experiment
+// (paper Figure 4: savings decline with the misprediction rate; all
+// deadlines still met, which Figure4 itself asserts).
+func BenchmarkFigure4(b *testing.B) {
+	var rows []rt.SavingsRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = rt.Figure4(clab.All(), benchInstances)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var missed int
+	for _, r := range rows {
+		missed += r.Complex.MissedTasks
+	}
+	b.ReportMetric(float64(missed), "missed-checkpoints")
+}
+
+// feedBenchmark drives one functional execution of a benchmark through a
+// pipeline feeder and returns the dynamic instruction count.
+func feedBenchmark(b *testing.B, name string, feed func(*exec.DynInst) int64) int64 {
+	prog := clab.ByName(name).MustProgram()
+	m := exec.New(prog)
+	for {
+		d, ok, err := m.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			return m.Seq
+		}
+		feed(&d)
+	}
+}
+
+// BenchmarkFunctionalExecutor measures raw architectural simulation speed.
+func BenchmarkFunctionalExecutor(b *testing.B) {
+	prog := clab.ByName("mm").MustProgram()
+	m := exec.New(prog)
+	var insts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		n, err := m.Run(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += n
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkSimplePipeline measures the VISA timing model's throughput.
+func BenchmarkSimplePipeline(b *testing.B) {
+	ic, dc := cache.New(cache.VISAL1), cache.New(cache.VISAL1)
+	p := simple.New(ic, dc, memsys.NewBus(memsys.Default, 1000))
+	var insts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Rebase(0)
+		insts += feedBenchmark(b, "mm", p.Feed)
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkComplexPipeline measures the out-of-order timing model's
+// throughput.
+func BenchmarkComplexPipeline(b *testing.B) {
+	ic, dc := cache.New(cache.VISAL1), cache.New(cache.VISAL1)
+	p := ooo.New(ooo.Config{}, ic, dc, memsys.NewBus(memsys.Default, 1000))
+	var insts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Rebase(0)
+		insts += feedBenchmark(b, "mm", p.Feed)
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkWCETAnalysis measures one full static analysis pass.
+func BenchmarkWCETAnalysis(b *testing.B) {
+	prog := clab.ByName("adpcm").MustProgram()
+	for i := 0; i < b.N; i++ {
+		an, err := wcet.New(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := an.Analyze(1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command experiments regenerates the paper's evaluation: Table 3 and
+// Figures 2, 3, and 4, running 200 task instances per configuration (or
+// fewer with -n for a quick look).
+//
+// Usage:
+//
+//	experiments [-n 200] [-table3] [-fig2] [-fig3] [-fig4] [-spec] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"visa/internal/cache"
+	"visa/internal/clab"
+	"visa/internal/isa"
+	"visa/internal/memsys"
+	"visa/internal/ooo"
+	"visa/internal/rt"
+)
+
+func main() {
+	n := flag.Int("n", rt.Instances, "task instances per experiment")
+	t3 := flag.Bool("table3", false, "regenerate Table 3")
+	f2 := flag.Bool("fig2", false, "regenerate Figure 2")
+	f3 := flag.Bool("fig3", false, "regenerate Figure 3")
+	f4 := flag.Bool("fig4", false, "regenerate Figure 4")
+	spec := flag.Bool("spec", false, "print the modelled configuration (Table 1, §3.2)")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+
+	if !*t3 && !*f2 && !*f3 && !*f4 && !*spec && !*all {
+		*all = true
+	}
+	benches := clab.All()
+
+	if *spec || *all {
+		printSpec()
+	}
+	if *t3 || *all {
+		rows, err := rt.Table3(benches)
+		check(err)
+		fmt.Println(rt.FormatTable3(rows))
+	}
+	if *f2 || *all {
+		out, _, err := rt.Figure2(benches, *n)
+		check(err)
+		fmt.Println(out)
+	}
+	if *f3 || *all {
+		out, _, err := rt.Figure3(benches, *n)
+		check(err)
+		fmt.Println(out)
+	}
+	if *f4 || *all {
+		out, _, err := rt.Figure4(benches, *n)
+		check(err)
+		fmt.Println(out)
+	}
+}
+
+func printSpec() {
+	cc := cache.VISAL1
+	ms := memsys.Default
+	ox := ooo.Default
+	fmt.Println("TABLE 1. VISA caches and latencies.")
+	fmt.Printf("  L1 I-cache & D-cache:        %dKB, %d-way set-assoc., %dB block, 1 cycle hit\n",
+		cc.SizeBytes/1024, cc.Assoc, cc.BlockBytes)
+	fmt.Printf("  worst-case memory stall:     %.0f ns\n", ms.WorstLatNs)
+	fmt.Printf("  execution latencies:         R10K-class (mul %d, div %d, fadd %d, fmul %d, fdiv %d)\n",
+		isa.MUL.Latency(), isa.DIV.Latency(), isa.FADD.Latency(), isa.FMUL.Latency(), isa.FDIV.Latency())
+	fmt.Println("Complex processor (§3.2):")
+	fmt.Printf("  %d-way superscalar, %d-entry ROB, %d-entry IQ, %d-entry LSQ,\n",
+		ox.FetchWidth, ox.ROBSize, ox.IQSize, ox.LSQSize)
+	fmt.Printf("  %d pipelined universal FUs, %d cache ports, 2^%d gshare + indirect table\n",
+		ox.FUCount, ox.CachePorts, ox.GshareBits)
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

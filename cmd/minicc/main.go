@@ -1,0 +1,60 @@
+// Command minicc compiles mini-C source to visa assembly or a validated
+// program listing. It is the toolchain entry point corresponding to the
+// "gcc PISA compiler" stage of the paper's Figure 1.
+//
+// Usage:
+//
+//	minicc [-S] [-dis] file.c
+//
+// With -S the generated assembly is printed; with -dis the assembled
+// program listing (with loop bounds and sub-task markers) is printed;
+// by default both compilation and assembly are performed and a summary
+// is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"visa/internal/isa"
+	"visa/internal/minic"
+)
+
+func main() {
+	asmOut := flag.Bool("S", false, "print generated assembly")
+	disOut := flag.Bool("dis", false, "print assembled program listing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [-S] [-dis] file.c")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	asm, err := minic.CompileToAsm(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *asmOut {
+		fmt.Print(asm)
+		return
+	}
+	prog, err := isa.Assemble(path, asm)
+	if err != nil {
+		fatal(err)
+	}
+	if *disOut {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+	fmt.Printf("%s: %d instructions, %d functions, %d loops bounded, %d sub-tasks, %d data bytes\n",
+		path, len(prog.Code), len(prog.Funcs), len(prog.LoopBounds), prog.NumSubTasks(), len(prog.Data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

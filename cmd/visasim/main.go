@@ -1,0 +1,117 @@
+// Command visasim runs a task on one of the two cycle-level processor
+// models and reports timing and cache statistics.
+//
+// Usage:
+//
+//	visasim [-proc simple|complex] [-mhz 1000] [-runs 1] [-bench name | file.c]
+//
+// With -bench it runs one of the embedded C-lab benchmarks; otherwise it
+// compiles and runs the given mini-C file. Multiple -runs share cache and
+// predictor state, showing cold-versus-steady behaviour.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"visa/internal/cache"
+	"visa/internal/clab"
+	"visa/internal/core"
+	"visa/internal/exec"
+	"visa/internal/isa"
+	"visa/internal/memsys"
+	"visa/internal/minic"
+	"visa/internal/ooo"
+	"visa/internal/simple"
+)
+
+func main() {
+	proc := flag.String("proc", "complex", "processor model: simple or complex")
+	mhz := flag.Int("mhz", 1000, "core frequency in MHz")
+	runs := flag.Int("runs", 1, "consecutive task executions (warm caches)")
+	bench := flag.String("bench", "", "embedded C-lab benchmark name")
+	flag.Parse()
+
+	var prog *isa.Program
+	var err error
+	switch {
+	case *bench != "":
+		b := clab.ByName(*bench)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q (have adpcm cnt fft lms mm srt)", *bench))
+		}
+		prog, err = b.Program()
+	case flag.NArg() == 1:
+		var src []byte
+		src, err = os.ReadFile(flag.Arg(0))
+		if err == nil {
+			if b, berr := core.DecodeBundle(src); berr == nil {
+				// A timing-safe task bundle (cmd/wcet -bundle): run its
+				// embedded program.
+				prog = b.Program
+			} else {
+				prog, err = minic.Compile(flag.Arg(0), string(src))
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: visasim [-proc simple|complex] [-mhz N] [-runs N] (-bench name | file.c)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	ic := cache.New(cache.VISAL1)
+	dc := cache.New(cache.VISAL1)
+	bus := memsys.NewBus(memsys.Default, *mhz)
+
+	var feed func(*exec.DynInst) int64
+	var now func() int64
+	var rebase func(int64)
+	switch *proc {
+	case "simple":
+		p := simple.New(ic, dc, bus)
+		feed, now, rebase = p.Feed, p.Now, p.Rebase
+	case "complex":
+		p := ooo.New(ooo.Config{}, ic, dc, bus)
+		feed, now, rebase = p.Feed, p.Now, p.Rebase
+	default:
+		fatal(fmt.Errorf("unknown processor %q", *proc))
+	}
+
+	m := exec.New(prog)
+	for r := 0; r < *runs; r++ {
+		m.Reset()
+		rebase(0)
+		for {
+			d, ok, err := m.Step()
+			if err != nil {
+				fatal(err)
+			}
+			if !ok {
+				break
+			}
+			feed(&d)
+		}
+		cyc := now()
+		us := float64(cyc) * 1000 / float64(*mhz) / 1000
+		fmt.Printf("run %d: %d instructions, %d cycles (%.1f us at %d MHz), IPC %.2f\n",
+			r+1, m.Seq, cyc, us, *mhz, float64(m.Seq)/float64(cyc))
+	}
+	fmt.Printf("I-cache: %d accesses, %d misses (%.2f%%)\n",
+		ic.Stats().Accesses, ic.Stats().Misses, 100*ic.Stats().MissRate())
+	fmt.Printf("D-cache: %d accesses, %d misses (%.2f%%)\n",
+		dc.Stats().Accesses, dc.Stats().Misses, 100*dc.Stats().MissRate())
+	if len(m.Out) > 0 {
+		fmt.Printf("out: %v\n", m.Out)
+	}
+	if len(m.OutF) > 0 {
+		fmt.Printf("outf: %v\n", m.OutF)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "visasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package visa is a from-scratch Go reproduction of "Virtual Simple
+// Architecture (VISA): Exceeding the Complexity Limit in Safe Real-Time
+// Systems" (Anantaraman, Seth, Patil, Rotenberg, Mueller; ISCA 2003).
+//
+// The implementation lives under internal/: the ISA and mini-C toolchain,
+// cycle-level models of both the explicitly-safe scalar pipeline and the
+// 4-way out-of-order core with its VISA simple mode, the static WCET
+// analyzer, the Wattch-style power/DVS model, the VISA run-time framework
+// (checkpoints, watchdog, frequency speculation, PET selection), the six
+// C-lab benchmarks, and the experiment harness that regenerates the paper's
+// Table 3 and Figures 2-4. See README.md, DESIGN.md, and EXPERIMENTS.md.
+package visa

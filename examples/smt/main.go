@@ -1,0 +1,62 @@
+// SMT: the paper's headline future-work application (§1.1, §8). A hard
+// real-time task runs as hardware thread 0 of the VISA-protected
+// out-of-order core while a non-real-time background thread shares the
+// pipeline. The hard task only needs the hypothetical simple pipeline's
+// bandwidth to meet its checkpoints; everything else goes to throughput.
+// If contention ever slips a checkpoint, simple mode engages and the
+// background thread is idled — no fetch, no context switch — so the hard
+// deadline holds unconditionally.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"visa/internal/clab"
+	"visa/internal/minic"
+	"visa/internal/rt"
+)
+
+const backgroundSrc = `
+int sink;
+void main() {
+	int i;
+	int acc = 0;
+	for (i = 0; i < 100000; i = i + 1) {
+		acc = acc + i * 13;
+		acc = acc ^ (acc >> 5);
+		sink = acc;
+	}
+}
+`
+
+func main() {
+	bg, err := minic.Compile("background.c", backgroundSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 100
+	fmt.Printf("SMT co-scheduling: hard task (thread 0) + background (thread 1), %d periods, tight deadline\n\n", n)
+	fmt.Printf("%-8s %14s %16s %10s %10s %10s\n",
+		"bench", "SMT bg insts", "slack-only insts", "gain", "missed", "deadlines")
+	for _, name := range []string{"cnt", "fft", "lms"} {
+		s, err := rt.GetSetup(clab.ByName(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rt.RunSMT(s, rt.Config{Tight: true, Instances: n}, bg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ALL MET"
+		if res.DeadlineViolations > 0 {
+			status = "VIOLATED"
+		}
+		fmt.Printf("%-8s %14d %16d %9.2fx %10d %10s\n",
+			name, res.BGInsts, res.RTOnlyBGInsts,
+			float64(res.BGInsts)/float64(res.RTOnlyBGInsts),
+			res.MissedTasks, status)
+	}
+	fmt.Println("\nSMT harvests both the post-task slack and the spare issue bandwidth")
+	fmt.Println("during the hard task, with the watchdog standing guard throughout.")
+}

@@ -1,0 +1,3 @@
+module visa
+
+go 1.22

@@ -1,0 +1,143 @@
+// Package cache implements the set-associative LRU cache timing model used
+// for both L1 instruction and data caches (paper Table 1: 64 KB, 4-way,
+// 64-byte blocks, 1-cycle hit). The model tracks hits and misses only;
+// contents are architectural state held by the functional executor.
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	SizeBytes  int
+	Assoc      int
+	BlockBytes int
+}
+
+// VISAL1 is the L1 configuration from the paper's Table 1.
+var VISAL1 = Config{SizeBytes: 64 * 1024, Assoc: 4, BlockBytes: 64}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.Assoc * c.BlockBytes) }
+
+func (c Config) validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.SizeBytes%(c.Assoc*c.BlockBytes) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by assoc*block", c.SizeBytes)
+	}
+	if s := c.Sets(); s&(s-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", s)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache: block size %d not a power of two", c.BlockBytes)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint32
+	valid bool
+	lru   uint64 // larger = more recently used
+}
+
+// Stats counts accesses.
+type Stats struct {
+	Accesses int64
+	Misses   int64
+}
+
+// Hits returns Accesses - Misses.
+func (s Stats) Hits() int64 { return s.Accesses - s.Misses }
+
+// MissRate returns the fraction of accesses that missed.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative LRU cache.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint32
+	blockBits uint
+	clock     uint64
+	stats     Stats
+}
+
+// New builds a cache; it panics on an invalid geometry (configurations are
+// compile-time constants in this system).
+func New(cfg Config) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, setMask: uint32(cfg.Sets() - 1)}
+	for b := cfg.BlockBytes; b > 1; b >>= 1 {
+		c.blockBits++
+	}
+	c.sets = make([][]line, cfg.Sets())
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Block returns the block number addr falls in (used to coalesce accesses).
+func (c *Cache) Block(addr uint32) uint32 { return addr >> c.blockBits }
+
+// Access touches addr and reports whether it hit. A miss allocates the block
+// with LRU replacement (write-allocate; the timing models charge the miss
+// penalty separately).
+func (c *Cache) Access(addr uint32) bool {
+	c.clock++
+	c.stats.Accesses++
+	blk := addr >> c.blockBits
+	set := c.sets[blk&c.setMask]
+	tag := blk >> 0 // full block number serves as the tag
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			return true
+		}
+		if set[i].lru < set[victim].lru || !set[i].valid && set[victim].valid {
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	set[victim] = line{tag: tag, valid: true, lru: c.clock}
+	return false
+}
+
+// Probe reports whether addr would hit, without updating LRU or stats.
+func (c *Cache) Probe(addr uint32) bool {
+	blk := addr >> c.blockBits
+	for _, l := range c.sets[blk&c.setMask] {
+		if l.valid && l.tag == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line (used to inject mispredictions, Figure 4).
+// Statistics are preserved.
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+}
+
+// ResetStats zeroes the counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }

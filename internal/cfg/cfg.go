@@ -1,0 +1,436 @@
+// Package cfg builds the program representation the static worst-case
+// timing analyzer works on: per-function control-flow graphs, dominator
+// trees, natural loops with their nesting structure and iteration bounds,
+// and an acyclic call order. This corresponds to the "control flow
+// information" stage of the paper's timing-analysis toolset (Figure 1).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"visa/internal/isa"
+)
+
+// Block is a basic block: instructions [Start, End) of the program, ending
+// at a control transfer or before a leader.
+type Block struct {
+	ID    int
+	Start int
+	End   int
+	Succs []int // successor block IDs, within the function
+	Preds []int
+
+	// CallTo is the callee name when the block ends with JAL; the
+	// fall-through successor is the return point.
+	CallTo string
+
+	// Loop is the ID of the innermost loop containing this block, or -1.
+	Loop int
+}
+
+// LastPC returns the index of the block's final instruction.
+func (b *Block) LastPC() int { return b.End - 1 }
+
+// Loop is a natural loop.
+type Loop struct {
+	ID     int
+	Header int          // header block ID
+	Blocks map[int]bool // all member block IDs, including inner loops'
+	Tails  []int        // back-edge source block IDs
+
+	// Bound is the maximum number of times the back edges are taken per
+	// entry (from #bound annotations). The loop body executes Bound times.
+	Bound int
+
+	Parent   int // enclosing loop ID, or -1
+	Children []int
+	Depth    int // 1 for outermost
+}
+
+// FuncGraph is one function's CFG and loop forest.
+type FuncGraph struct {
+	Prog   *isa.Program
+	Fn     isa.FuncInfo
+	Blocks []*Block
+	Entry  int
+	Loops  []*Loop
+
+	pcBlock []int // pc - Fn.Start -> block ID
+}
+
+// BlockAt returns the block containing instruction index pc.
+func (g *FuncGraph) BlockAt(pc int) *Block {
+	return g.Blocks[g.pcBlock[pc-g.Fn.Start]]
+}
+
+// Graph is the whole-program analysis structure.
+type Graph struct {
+	Prog  *isa.Program
+	Funcs map[string]*FuncGraph
+
+	// CallOrder lists function names callees-first; WCET composition
+	// processes functions in this order. Recursive programs are rejected
+	// (their WCET is unbounded without extra annotations).
+	CallOrder []string
+}
+
+// Build constructs the whole-program graph.
+func Build(prog *isa.Program) (*Graph, error) {
+	g := &Graph{Prog: prog, Funcs: make(map[string]*FuncGraph, len(prog.Funcs))}
+	calls := map[string][]string{}
+	for _, fn := range prog.Funcs {
+		fg, err := buildFunc(prog, fn)
+		if err != nil {
+			return nil, err
+		}
+		g.Funcs[fn.Name] = fg
+		for _, b := range fg.Blocks {
+			if b.CallTo != "" {
+				calls[fn.Name] = append(calls[fn.Name], b.CallTo)
+			}
+		}
+	}
+	// Callees must exist.
+	for caller, callees := range calls {
+		for _, c := range callees {
+			if g.Funcs[c] == nil {
+				return nil, fmt.Errorf("cfg: %s calls unknown function %s", caller, c)
+			}
+		}
+	}
+	order, err := topoOrder(g.Funcs, calls)
+	if err != nil {
+		return nil, err
+	}
+	g.CallOrder = order
+	return g, nil
+}
+
+func buildFunc(prog *isa.Program, fn isa.FuncInfo) (*FuncGraph, error) {
+	g := &FuncGraph{Prog: prog, Fn: fn}
+	n := fn.End - fn.Start
+
+	// Leaders: function entry, branch targets, instructions after control
+	// transfers.
+	leader := make([]bool, n)
+	leader[0] = true
+	for pc := fn.Start; pc < fn.End; pc++ {
+		in := prog.Code[pc]
+		if !in.Op.IsBranch() {
+			continue
+		}
+		if pc+1 < fn.End {
+			leader[pc+1-fn.Start] = true
+		}
+		switch in.Op.Format() {
+		case isa.FmtBranch, isa.FmtJump:
+			t := int(in.Imm)
+			if in.Op != isa.JAL {
+				if t < fn.Start || t >= fn.End {
+					return nil, fmt.Errorf("cfg: %s: branch at pc %d targets %d outside function", fn.Name, pc, t)
+				}
+				leader[t-fn.Start] = true
+			}
+		}
+	}
+
+	// Blocks.
+	g.pcBlock = make([]int, n)
+	for pc := fn.Start; pc < fn.End; {
+		b := &Block{ID: len(g.Blocks), Start: pc, Loop: -1}
+		end := pc
+		for end < fn.End {
+			if end > pc && leader[end-fn.Start] {
+				break
+			}
+			in := prog.Code[end]
+			end++
+			if in.Op.IsBranch() || in.Op == isa.HALT {
+				break
+			}
+		}
+		b.End = end
+		for i := pc; i < end; i++ {
+			g.pcBlock[i-fn.Start] = b.ID
+		}
+		g.Blocks = append(g.Blocks, b)
+		pc = end
+	}
+
+	// Edges.
+	idOf := func(pc int) (int, error) {
+		if pc < fn.Start || pc >= fn.End {
+			return 0, fmt.Errorf("cfg: %s: target %d outside function", fn.Name, pc)
+		}
+		return g.pcBlock[pc-fn.Start], nil
+	}
+	for _, b := range g.Blocks {
+		last := prog.Code[b.LastPC()]
+		addEdge := func(target int) error {
+			t, err := idOf(target)
+			if err != nil {
+				return err
+			}
+			b.Succs = append(b.Succs, t)
+			g.Blocks[t].Preds = append(g.Blocks[t].Preds, b.ID)
+			return nil
+		}
+		switch {
+		case last.Op == isa.HALT:
+			// terminal
+		case last.Op == isa.JR || last.Op == isa.JALR:
+			// Return: terminal within the function. (The mini-C compiler
+			// only emits JR for returns.)
+		case last.Op == isa.JAL:
+			b.CallTo = callTarget(prog, int(last.Imm))
+			if b.End < fn.End {
+				if err := addEdge(b.End); err != nil {
+					return nil, err
+				}
+			}
+		case last.Op == isa.J:
+			if err := addEdge(int(last.Imm)); err != nil {
+				return nil, err
+			}
+		case last.Op.IsCondBranch():
+			if err := addEdge(int(last.Imm)); err != nil {
+				return nil, err
+			}
+			if b.End < fn.End {
+				if err := addEdge(b.End); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			// Fell off the block at a leader boundary.
+			if b.End < fn.End {
+				if err := addEdge(b.End); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	if err := findLoops(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func callTarget(prog *isa.Program, pc int) string {
+	if f, ok := prog.FuncAt(pc); ok && f.Start == pc {
+		return f.Name
+	}
+	return fmt.Sprintf("pc%d", pc)
+}
+
+// dominators computes immediate dominator sets with the classic iterative
+// bit-vector algorithm (fine at these program sizes).
+func dominators(g *FuncGraph) [][]bool {
+	n := len(g.Blocks)
+	dom := make([][]bool, n)
+	for i := range dom {
+		dom[i] = make([]bool, n)
+		if i == g.Entry {
+			dom[i][i] = true
+			continue
+		}
+		for j := range dom[i] {
+			dom[i][j] = true
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.Blocks {
+			if b.ID == g.Entry {
+				continue
+			}
+			// meet over predecessors
+			meet := make([]bool, n)
+			first := true
+			for _, p := range b.Preds {
+				if first {
+					copy(meet, dom[p])
+					first = false
+					continue
+				}
+				for j := range meet {
+					meet[j] = meet[j] && dom[p][j]
+				}
+			}
+			if first {
+				// unreachable block: dominated by everything; leave as-is
+				continue
+			}
+			meet[b.ID] = true
+			for j := range meet {
+				if meet[j] != dom[b.ID][j] {
+					dom[b.ID] = meet
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+func findLoops(g *FuncGraph) error {
+	dom := dominators(g)
+
+	// Natural loops from back edges; loops sharing a header are merged.
+	byHeader := map[int]*Loop{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !dom[b.ID][s] {
+				continue // not a back edge
+			}
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[int]bool{s: true}, Parent: -1}
+				byHeader[s] = l
+			}
+			l.Tails = append(l.Tails, b.ID)
+			// Reverse reachability from the tail without passing the header.
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[x] {
+					continue
+				}
+				l.Blocks[x] = true
+				stack = append(stack, g.Blocks[x].Preds...)
+			}
+		}
+	}
+
+	// Deterministic loop IDs: by header block, outermost (largest) first.
+	headers := make([]int, 0, len(byHeader))
+	for h := range byHeader {
+		headers = append(headers, h)
+	}
+	sort.Slice(headers, func(i, j int) bool {
+		li, lj := byHeader[headers[i]], byHeader[headers[j]]
+		if len(li.Blocks) != len(lj.Blocks) {
+			return len(li.Blocks) > len(lj.Blocks)
+		}
+		return headers[i] < headers[j]
+	})
+	for i, h := range headers {
+		l := byHeader[h]
+		l.ID = i
+		g.Loops = append(g.Loops, l)
+	}
+
+	// Nesting: parent = smallest strictly-containing loop.
+	for _, l := range g.Loops {
+		for _, outer := range g.Loops {
+			if outer == l || !outer.Blocks[l.Header] {
+				continue
+			}
+			if !containsAll(outer.Blocks, l.Blocks) {
+				continue
+			}
+			if l.Parent == -1 || len(g.Loops[l.Parent].Blocks) > len(outer.Blocks) {
+				l.Parent = outer.ID
+			}
+		}
+	}
+	for _, l := range g.Loops {
+		if l.Parent >= 0 {
+			g.Loops[l.Parent].Children = append(g.Loops[l.Parent].Children, l.ID)
+		}
+	}
+	var setDepth func(id, d int)
+	setDepth = func(id, d int) {
+		g.Loops[id].Depth = d
+		for _, c := range g.Loops[id].Children {
+			setDepth(c, d+1)
+		}
+	}
+	for _, l := range g.Loops {
+		if l.Parent == -1 {
+			setDepth(l.ID, 1)
+		}
+	}
+
+	// Innermost-loop membership per block.
+	for _, l := range g.Loops {
+		for bid := range l.Blocks {
+			b := g.Blocks[bid]
+			if b.Loop == -1 || len(g.Loops[b.Loop].Blocks) > len(l.Blocks) {
+				b.Loop = l.ID
+			}
+		}
+	}
+
+	// Bounds: every loop needs a #bound annotation on a back-edge branch.
+	for _, l := range g.Loops {
+		bound := -1
+		for _, tail := range l.Tails {
+			pc := g.Blocks[tail].LastPC()
+			if b, ok := g.Prog.LoopBounds[pc]; ok && b > bound {
+				bound = b
+			}
+		}
+		if bound < 0 {
+			return fmt.Errorf("cfg: %s: loop with header at pc %d has no #bound annotation",
+				g.Fn.Name, g.Blocks[l.Header].Start)
+		}
+		l.Bound = bound
+	}
+	return nil
+}
+
+func containsAll(outer, inner map[int]bool) bool {
+	for b := range inner {
+		if !outer[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// topoOrder returns function names callees-first; errors on recursion.
+func topoOrder(funcs map[string]*FuncGraph, calls map[string][]string) ([]string, error) {
+	names := make([]string, 0, len(funcs))
+	for n := range funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var order []string
+	var visit func(string) error
+	visit = func(n string) error {
+		switch color[n] {
+		case gray:
+			return fmt.Errorf("cfg: recursion involving %s: WCET analysis requires a non-recursive call graph", n)
+		case black:
+			return nil
+		}
+		color[n] = gray
+		for _, c := range calls[n] {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		color[n] = black
+		order = append(order, n)
+		return nil
+	}
+	for _, n := range names {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

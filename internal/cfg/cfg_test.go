@@ -1,0 +1,164 @@
+package cfg
+
+import (
+	"testing"
+
+	"visa/internal/isa"
+	"visa/internal/minic"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	p, err := minic.Compile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLoopDetection(t *testing.T) {
+	g := build(t, `
+void main() {
+	int i;
+	int j;
+	int s = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		for (j = 0; j < 5; j = j + 1) {
+			s = s + i * j;
+		}
+	}
+	__out(s);
+}`)
+	fg := g.Funcs["main"]
+	if len(fg.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(fg.Loops))
+	}
+	var outer, inner *Loop
+	for _, l := range fg.Loops {
+		if l.Depth == 1 {
+			outer = l
+		} else {
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("bad nesting depths")
+	}
+	if inner.Parent != outer.ID {
+		t.Errorf("inner.Parent = %d, want %d", inner.Parent, outer.ID)
+	}
+	if outer.Bound != 10 || inner.Bound != 5 {
+		t.Errorf("bounds = %d,%d want 10,5", outer.Bound, inner.Bound)
+	}
+	if !outer.Blocks[inner.Header] {
+		t.Error("outer loop does not contain inner header")
+	}
+}
+
+func TestBlockStructure(t *testing.T) {
+	prog := isa.MustAssemble("t", `
+.text
+.func main
+    li r1, 3
+    beq r1, r0, skip
+    addi r2, r2, 1
+skip:
+    addi r3, r3, 1
+    halt
+.endfunc`)
+	g, err := Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := g.Funcs["main"]
+	if len(fg.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(fg.Blocks))
+	}
+	b0 := fg.BlockAt(0)
+	if len(b0.Succs) != 2 {
+		t.Errorf("branch block has %d successors, want 2", len(b0.Succs))
+	}
+	if fg.BlockAt(prog.Labels["skip"]).ID == b0.ID {
+		t.Error("skip label not a leader")
+	}
+	// Every pc maps into its block's range.
+	for pc := 0; pc < len(prog.Code); pc++ {
+		b := fg.BlockAt(pc)
+		if pc < b.Start || pc >= b.End {
+			t.Fatalf("BlockAt(%d) = [%d,%d)", pc, b.Start, b.End)
+		}
+	}
+}
+
+func TestCallGraphOrder(t *testing.T) {
+	g := build(t, `
+int leaf(int x) { return x + 1; }
+int mid(int x) { return leaf(x) * 2; }
+void main() { __out(mid(3)); }`)
+	pos := map[string]int{}
+	for i, n := range g.CallOrder {
+		pos[n] = i
+	}
+	if !(pos["leaf"] < pos["mid"] && pos["mid"] < pos["main"]) {
+		t.Errorf("call order %v not callees-first", g.CallOrder)
+	}
+	// Call annotation present.
+	found := false
+	for _, b := range g.Funcs["main"].Blocks {
+		if b.CallTo == "mid" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("main's call to mid not recorded")
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	p, err := minic.Compile("r.c", `
+int f(int n) {
+	if (n < 1) { return 0; }
+	return f(n - 1) + 1;
+}
+void main() { __out(f(5)); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(p); err == nil {
+		t.Fatal("recursive program accepted; WCET analysis requires a non-recursive call graph")
+	}
+}
+
+func TestMissingBoundRejected(t *testing.T) {
+	prog := isa.MustAssemble("t", `
+.text
+.func main
+    li r1, 3
+loop:
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+.endfunc`)
+	if _, err := Build(prog); err == nil {
+		t.Fatal("loop without #bound accepted")
+	}
+}
+
+func TestWhileLoopWithExplicitBound(t *testing.T) {
+	g := build(t, `
+void main() {
+	int n = 12;
+	while __bound(12) (n > 0) {
+		n = n - 1;
+	}
+	__out(n);
+}`)
+	fg := g.Funcs["main"]
+	if len(fg.Loops) != 1 || fg.Loops[0].Bound != 12 {
+		t.Fatalf("loops = %+v", fg.Loops)
+	}
+}

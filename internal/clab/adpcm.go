@@ -1,0 +1,290 @@
+package clab
+
+import "fmt"
+
+// adpcm: IMA/DVI ADPCM speech encoder and decoder (C-lab "adpcm"), the
+// largest benchmark in Table 3. 8 sub-tasks: table/input initialization,
+// four encode chunks, and three decode chunks.
+const adpcmSamples = 480
+
+// imaStepTable is the standard 89-entry IMA ADPCM step-size table.
+var imaStepTable = []int32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+// imaIndexTable is the standard 16-entry index-adjustment table.
+var imaIndexTable = []int32{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+var Adpcm = register(newAdpcm())
+
+func newAdpcm() *Benchmark {
+	encChunks := chunks(adpcmSamples, 4)
+	decChunks := chunks(adpcmSamples, 3)
+
+	src := fmt.Sprintf(`
+int input[%d];
+int code[%d];
+int decoded[%d];
+int stepTab[89];
+int idxTab[16];
+int seed = SEEDVAL;
+
+void main() {
+	int n;
+	int valpred;
+	int index;
+	int step;
+	int diff;
+	int sign;
+	int delta;
+	int vpdiff;
+
+	__subtask(0);
+`, adpcmSamples, adpcmSamples, adpcmSamples)
+
+	// Table initialization (the C-lab original carries these as static
+	// initializers; mini-C has no array initializers, so the first
+	// sub-task writes them, which also warms the D-cache realistically).
+	for i, v := range imaStepTable {
+		src += fmt.Sprintf("\tstepTab[%d] = %d;\n", i, v)
+	}
+	for i, v := range imaIndexTable {
+		src += fmt.Sprintf("\tidxTab[%d] = %d;\n", i, v)
+	}
+	src += fmt.Sprintf(`
+	for (n = 0; n < %d; n = n + 1) {
+		seed = seed * 1103515245 + 12345;
+		input[n] = (((seed >> 16) & 32767) - 16384) * 2;
+	}
+	valpred = 0;
+	index = 0;
+`, adpcmSamples)
+
+	// Encoder, 4 chunks (sub-tasks 1..4).
+	for c := 0; c < 4; c++ {
+		src += fmt.Sprintf(`
+	__subtask(%d);
+	for (n = %d; n < %d; n = n + 1) {
+		step = stepTab[index];
+		diff = input[n] - valpred;
+		if (diff < 0) {
+			sign = 8;
+			diff = -diff;
+		} else {
+			sign = 0;
+		}
+		delta = 0;
+		vpdiff = step >> 3;
+		if (diff >= step) {
+			delta = 4;
+			diff = diff - step;
+			vpdiff = vpdiff + step;
+		}
+		step = step >> 1;
+		if (diff >= step) {
+			delta = delta | 2;
+			diff = diff - step;
+			vpdiff = vpdiff + step;
+		}
+		step = step >> 1;
+		if (diff >= step) {
+			delta = delta | 1;
+			vpdiff = vpdiff + step;
+		}
+		if (sign > 0) {
+			valpred = valpred - vpdiff;
+		} else {
+			valpred = valpred + vpdiff;
+		}
+		if (valpred > 32767) {
+			valpred = 32767;
+		}
+		if (valpred < -32768) {
+			valpred = -32768;
+		}
+		delta = delta | sign;
+		index = index + idxTab[delta];
+		if (index < 0) {
+			index = 0;
+		}
+		if (index > 88) {
+			index = 88;
+		}
+		code[n] = delta;
+	}
+`, c+1, encChunks[c], encChunks[c+1])
+	}
+
+	src += `
+	valpred = 0;
+	index = 0;
+`
+	// Decoder, 3 chunks (sub-tasks 5..7).
+	for c := 0; c < 3; c++ {
+		src += fmt.Sprintf(`
+	__subtask(%d);
+	for (n = %d; n < %d; n = n + 1) {
+		delta = code[n];
+		index = index + idxTab[delta];
+		if (index < 0) {
+			index = 0;
+		}
+		if (index > 88) {
+			index = 88;
+		}
+		sign = delta & 8;
+		delta = delta & 7;
+		step = stepTab[index];
+		vpdiff = step >> 3;
+		if ((delta & 4) > 0) {
+			vpdiff = vpdiff + step;
+		}
+		if ((delta & 2) > 0) {
+			vpdiff = vpdiff + (step >> 1);
+		}
+		if ((delta & 1) > 0) {
+			vpdiff = vpdiff + (step >> 2);
+		}
+		if (sign > 0) {
+			valpred = valpred - vpdiff;
+		} else {
+			valpred = valpred + vpdiff;
+		}
+		if (valpred > 32767) {
+			valpred = 32767;
+		}
+		if (valpred < -32768) {
+			valpred = -32768;
+		}
+		decoded[n] = valpred;
+	}
+`, c+5, decChunks[c], decChunks[c+1])
+	}
+
+	src += fmt.Sprintf(`
+	sign = 0;
+	delta = 0;
+	for (n = 0; n < %d; n = n + 1) {
+		sign = sign + code[n];
+		delta = delta + decoded[n] - input[n];
+	}
+	__out(sign);
+	__out(delta);
+	__out(decoded[%d]);
+}
+`, adpcmSamples, adpcmSamples-1)
+
+	return &Benchmark{
+		Name:     "adpcm",
+		SubTasks: 8,
+		Source:   src,
+		Ref:      adpcmRef,
+	}
+}
+
+func adpcmRef() ([]int32, []float64) {
+	g := lcg{s: lcgSeed}
+	input := make([]int32, adpcmSamples)
+	for i := range input {
+		input[i] = (g.next() - 16384) * 2
+	}
+
+	clampPred := func(v int32) int32 {
+		if v > 32767 {
+			return 32767
+		}
+		if v < -32768 {
+			return -32768
+		}
+		return v
+	}
+	clampIdx := func(v int32) int32 {
+		if v < 0 {
+			return 0
+		}
+		if v > 88 {
+			return 88
+		}
+		return v
+	}
+
+	code := make([]int32, adpcmSamples)
+	valpred, index := int32(0), int32(0)
+	for n, s := range input {
+		step := imaStepTable[index]
+		diff := s - valpred
+		var sign int32
+		if diff < 0 {
+			sign = 8
+			diff = -diff
+		}
+		var delta int32
+		vpdiff := step >> 3
+		if diff >= step {
+			delta = 4
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 2
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 1
+			vpdiff += step
+		}
+		if sign > 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		valpred = clampPred(valpred)
+		delta |= sign
+		index = clampIdx(index + imaIndexTable[delta])
+		code[n] = delta
+	}
+
+	decoded := make([]int32, adpcmSamples)
+	valpred, index = 0, 0
+	for n, d := range code {
+		index = clampIdx(index + imaIndexTable[d])
+		sign := d & 8
+		delta := d & 7
+		step := imaStepTable[index]
+		vpdiff := step >> 3
+		if delta&4 > 0 {
+			vpdiff += step
+		}
+		if delta&2 > 0 {
+			vpdiff += step >> 1
+		}
+		if delta&1 > 0 {
+			vpdiff += step >> 2
+		}
+		if sign > 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		valpred = clampPred(valpred)
+		decoded[n] = valpred
+	}
+
+	var codeSum, errSum int32
+	for n := range code {
+		codeSum += code[n]
+		errSum += decoded[n] - input[n]
+	}
+	return []int32{codeSum, errSum, decoded[adpcmSamples-1]}, nil
+}

@@ -1,0 +1,80 @@
+package clab
+
+import "fmt"
+
+// cnt: count and sum positive/negative elements of a matrix (C-lab "cnt").
+// 5 sub-tasks: initialization plus 4 row chunks (Table 3).
+const cntN = 20
+
+var Cnt = register(newCnt())
+
+func newCnt() *Benchmark {
+	const subTasks = 5
+	bounds := chunks(cntN, subTasks-1)
+
+	src := fmt.Sprintf(`
+int mat[%d][%d];
+int seed = SEEDVAL;
+
+void main() {
+	int i;
+	int j;
+	int pos = 0;
+	int neg = 0;
+	int psum = 0;
+	int nsum = 0;
+
+	__subtask(0);
+	for (i = 0; i < %d; i = i + 1) {
+		for (j = 0; j < %d; j = j + 1) {
+			seed = seed * 1103515245 + 12345;
+			mat[i][j] = ((seed >> 16) & 32767) - 16384;
+		}
+	}
+`, cntN, cntN, cntN, cntN)
+
+	for c := 0; c < subTasks-1; c++ {
+		src += fmt.Sprintf(`
+	__subtask(%d);
+	for (i = %d; i < %d; i = i + 1) {
+		for (j = 0; j < %d; j = j + 1) {
+			if (mat[i][j] > 0) {
+				pos = pos + 1;
+				psum = psum + mat[i][j];
+			} else {
+				neg = neg + 1;
+				nsum = nsum + mat[i][j];
+			}
+		}
+	}
+`, c+1, bounds[c], bounds[c+1], cntN)
+	}
+	src += `
+	__out(pos);
+	__out(neg);
+	__out(psum);
+	__out(nsum);
+}
+`
+
+	return &Benchmark{
+		Name:     "cnt",
+		SubTasks: subTasks,
+		Source:   src,
+		Ref: func() ([]int32, []float64) {
+			g := lcg{s: lcgSeed}
+			var pos, neg, psum, nsum int32
+			for i := 0; i < cntN*cntN; i++ {
+				v := g.next() - 16384
+				if v > 0 {
+					pos++
+					psum += v
+				} else {
+					neg++
+					nsum += v
+				}
+			}
+			return []int32{pos, neg, psum, nsum}, nil
+		},
+	}
+}

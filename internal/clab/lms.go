@@ -1,0 +1,94 @@
+package clab
+
+import "fmt"
+
+// lms: least-mean-square adaptive FIR filter (C-lab "lms"). The filter
+// learns to predict the next sample of a noisy signal. 10 sub-tasks:
+// initialization plus 9 chunks of the sample loop.
+const (
+	lmsTaps    = 16
+	lmsSamples = 80
+	lmsLen     = lmsTaps + lmsSamples
+)
+
+var Lms = register(newLms())
+
+func newLms() *Benchmark {
+	const subTasks = 10
+	bounds := chunks(lmsSamples, subTasks-1)
+
+	src := fmt.Sprintf(`
+float x[%d];
+float w[%d];
+float err;
+int seed = SEEDVAL;
+
+void main() {
+	int n;
+	int k;
+	float y;
+	float e;
+	float mu = 0.01;
+
+	__subtask(0);
+	for (n = 0; n < %d; n = n + 1) {
+		seed = seed * 1103515245 + 12345;
+		x[n] = ((seed >> 16) & 32767) / 16384.0 - 1.0;
+	}
+	for (k = 0; k < %d; k = k + 1) {
+		w[k] = 0.0;
+	}
+	err = 0.0;
+`, lmsLen, lmsTaps, lmsLen, lmsTaps)
+
+	for c := 0; c < subTasks-1; c++ {
+		src += fmt.Sprintf(`
+	__subtask(%d);
+	for (n = %d; n < %d; n = n + 1) {
+		y = 0.0;
+		for (k = 0; k < %d; k = k + 1) {
+			y = y + w[k] * x[n + k];
+		}
+		e = x[n + %d] - y;
+		for (k = 0; k < %d; k = k + 1) {
+			w[k] = w[k] + mu * e * x[n + k];
+		}
+		err = err + e * e;
+	}
+`, c+1, bounds[c], bounds[c+1], lmsTaps, lmsTaps, lmsTaps)
+	}
+	src += fmt.Sprintf(`
+	__out(err);
+	__out(w[0]);
+	__out(w[%d]);
+}
+`, lmsTaps-1)
+
+	return &Benchmark{
+		Name:     "lms",
+		SubTasks: subTasks,
+		Source:   src,
+		Ref: func() ([]int32, []float64) {
+			g := lcg{s: lcgSeed}
+			x := make([]float64, lmsLen)
+			for i := range x {
+				x[i] = float64(g.next())/16384.0 - 1.0
+			}
+			w := make([]float64, lmsTaps)
+			mu := 0.01
+			errAcc := 0.0
+			for n := 0; n < lmsSamples; n++ {
+				y := 0.0
+				for k := 0; k < lmsTaps; k++ {
+					y += w[k] * x[n+k]
+				}
+				e := x[n+lmsTaps] - y
+				for k := 0; k < lmsTaps; k++ {
+					w[k] += mu * e * x[n+k]
+				}
+				errAcc += e * e
+			}
+			return nil, []float64{errAcc, w[0], w[lmsTaps-1]}
+		},
+	}
+}

@@ -1,0 +1,93 @@
+package clab
+
+import "fmt"
+
+// mm: integer matrix multiply (C-lab "matmult"). 10 sub-tasks:
+// initialization of both operands plus 9 row chunks of the product loop.
+const mmN = 14
+
+var MM = register(newMM())
+
+func newMM() *Benchmark {
+	const subTasks = 10
+	bounds := chunks(mmN, subTasks-1)
+
+	src := fmt.Sprintf(`
+int A[%d][%d];
+int B[%d][%d];
+int C[%d][%d];
+int seed = SEEDVAL;
+
+void main() {
+	int i;
+	int j;
+	int k;
+	int acc;
+
+	__subtask(0);
+	for (i = 0; i < %d; i = i + 1) {
+		for (j = 0; j < %d; j = j + 1) {
+			seed = seed * 1103515245 + 12345;
+			A[i][j] = ((seed >> 16) & 255) - 128;
+			seed = seed * 1103515245 + 12345;
+			B[i][j] = ((seed >> 16) & 255) - 128;
+		}
+	}
+`, mmN, mmN, mmN, mmN, mmN, mmN, mmN, mmN)
+
+	for c := 0; c < subTasks-1; c++ {
+		src += fmt.Sprintf(`
+	__subtask(%d);
+	for (i = %d; i < %d; i = i + 1) {
+		for (j = 0; j < %d; j = j + 1) {
+			acc = 0;
+			for (k = 0; k < %d; k = k + 1) {
+				acc = acc + A[i][k] * B[k][j];
+			}
+			C[i][j] = acc;
+		}
+	}
+`, c+1, bounds[c], bounds[c+1], mmN, mmN)
+	}
+	src += fmt.Sprintf(`
+	acc = 0;
+	for (i = 0; i < %d; i = i + 1) {
+		acc = acc + C[i][i];
+	}
+	__out(acc);
+	__out(C[0][%d]);
+	__out(C[%d][0]);
+}
+`, mmN, mmN-1, mmN-1)
+
+	return &Benchmark{
+		Name:     "mm",
+		SubTasks: subTasks,
+		Source:   src,
+		Ref: func() ([]int32, []float64) {
+			g := lcg{s: lcgSeed}
+			var a, b [mmN][mmN]int32
+			for i := 0; i < mmN; i++ {
+				for j := 0; j < mmN; j++ {
+					a[i][j] = (g.next() & 255) - 128
+					b[i][j] = (g.next() & 255) - 128
+				}
+			}
+			var c [mmN][mmN]int32
+			for i := 0; i < mmN; i++ {
+				for j := 0; j < mmN; j++ {
+					var acc int32
+					for k := 0; k < mmN; k++ {
+						acc += a[i][k] * b[k][j]
+					}
+					c[i][j] = acc
+				}
+			}
+			var trace int32
+			for i := 0; i < mmN; i++ {
+				trace += c[i][i]
+			}
+			return []int32{trace, c[0][mmN-1], c[mmN-1][0]}, nil
+		},
+	}
+}

@@ -1,0 +1,98 @@
+package clab
+
+import "fmt"
+
+// srt: bubblesort (C-lab "srt"). 10 sub-tasks: initialization plus 9 chunks
+// of the outer pass loop. The kernel keeps bubblesort's data-dependent
+// behaviour: the swap is conditional (forward branches the analyzer must
+// assume taken) and a sorted-early flag exits the pass loop, which static
+// analysis must assume never fires — the two over-estimation sources the
+// paper identifies for srt (§6.1).
+const srtN = 60
+
+var Srt = register(newSrt())
+
+func newSrt() *Benchmark {
+	const subTasks = 10
+	passes := srtN - 1
+	bounds := chunks(passes, subTasks-1)
+
+	src := fmt.Sprintf(`
+int arr[%d];
+int seed = SEEDVAL;
+
+void main() {
+	int i;
+	int j;
+	int t;
+	int swapped;
+	int done = 0;
+
+	__subtask(0);
+	for (i = 0; i < %d; i = i + 1) {
+		seed = seed * 1103515245 + 12345;
+		arr[i] = (seed >> 16) & 32767;
+	}
+`, srtN, srtN)
+
+	for c := 0; c < subTasks-1; c++ {
+		chunk := bounds[c+1] - bounds[c]
+		src += fmt.Sprintf(`
+	__subtask(%d);
+	for __bound(%d) (i = %d; i < %d && done == 0; i = i + 1) {
+		swapped = 0;
+		for __bound(%d) (j = 0; j < %d - i; j = j + 1) {
+			if (arr[j] > arr[j + 1]) {
+				t = arr[j];
+				arr[j] = arr[j + 1];
+				arr[j + 1] = t;
+				swapped = 1;
+			}
+		}
+		if (swapped == 0) {
+			done = 1;
+		}
+	}
+`, c+1, chunk, bounds[c], bounds[c+1], passes, passes)
+	}
+	src += fmt.Sprintf(`
+	t = 0;
+	for (i = 0; i < %d; i = i + 1) {
+		t = t + arr[i] * (i + 1);
+	}
+	__out(t);
+	__out(arr[0]);
+	__out(arr[%d]);
+}
+`, srtN, srtN-1)
+
+	return &Benchmark{
+		Name:     "srt",
+		SubTasks: subTasks,
+		Source:   src,
+		Ref: func() ([]int32, []float64) {
+			g := lcg{s: lcgSeed}
+			arr := make([]int32, srtN)
+			for i := range arr {
+				arr[i] = g.next()
+			}
+			for i := 0; i < srtN-1; i++ {
+				swapped := false
+				for j := 0; j < srtN-1-i; j++ {
+					if arr[j] > arr[j+1] {
+						arr[j], arr[j+1] = arr[j+1], arr[j]
+						swapped = true
+					}
+				}
+				if !swapped {
+					break
+				}
+			}
+			var sum int32
+			for i, v := range arr {
+				sum += v * int32(i+1)
+			}
+			return []int32{sum, arr[0], arr[srtN-1]}, nil
+		},
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"visa/internal/isa"
+	"visa/internal/power"
+)
+
+// Timing-safe task bundles (paper §1.2): "Parameterized WCET information
+// for a task would be appended to the task's binary, and the task will
+// execute safely within any system that complies with the VISA for which
+// the WCET information was calculated." A Bundle is exactly that: the
+// program image plus its per-operating-point, per-sub-task WCET table.
+// Any VISA-compliant host can load it, solve its own frequency plan for its
+// own deadline, and run the task with checkpoint protection — extending
+// binary compatibility to include timing safety.
+
+var bundleMagic = [4]byte{'V', 'T', 'S', 'K'} // VISA task
+
+// Bundle pairs a program with its VISA timing contract.
+type Bundle struct {
+	Program *isa.Program
+	Table   *WCETTable
+}
+
+// MarshalBinary serializes the WCET table.
+func (t *WCETTable) MarshalBinary() ([]byte, error) {
+	var b bytes.Buffer
+	w := func(v any) { _ = binary.Write(&b, binary.LittleEndian, v) }
+	w(uint32(len(t.Points)))
+	w(uint32(t.NumSubTasks()))
+	for i, pt := range t.Points {
+		w(uint32(pt.FMHz))
+		w(math.Float64bits(pt.Volts))
+		if len(t.Cycles[i]) != t.NumSubTasks() {
+			return nil, fmt.Errorf("core: ragged WCET table")
+		}
+		for _, c := range t.Cycles[i] {
+			w(uint64(c))
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes a WCET table.
+func (t *WCETTable) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var nPts, nSub uint32
+	if err := rd(&nPts); err != nil {
+		return err
+	}
+	if err := rd(&nSub); err != nil {
+		return err
+	}
+	if nPts == 0 || nPts > 1024 || nSub > 4096 {
+		return fmt.Errorf("core: implausible WCET table header (%d points, %d sub-tasks)", nPts, nSub)
+	}
+	t.Points = make([]power.OperatingPoint, nPts)
+	t.Cycles = make([][]int64, nPts)
+	for i := range t.Points {
+		var f uint32
+		var vb uint64
+		if err := rd(&f); err != nil {
+			return err
+		}
+		if err := rd(&vb); err != nil {
+			return err
+		}
+		t.Points[i] = power.OperatingPoint{FMHz: int(f), Volts: math.Float64frombits(vb)}
+		row := make([]int64, nSub)
+		for k := range row {
+			var c uint64
+			if err := rd(&c); err != nil {
+				return err
+			}
+			row[k] = int64(c)
+		}
+		t.Cycles[i] = row
+	}
+	return nil
+}
+
+// EncodeBundle serializes a timing-safe task bundle.
+func EncodeBundle(b *Bundle) ([]byte, error) {
+	prog, err := b.Program.EncodeProgram()
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := b.Table.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	if b.Table.NumSubTasks() != b.Program.NumSubTasks() {
+		return nil, fmt.Errorf("core: WCET table has %d sub-tasks, program has %d",
+			b.Table.NumSubTasks(), b.Program.NumSubTasks())
+	}
+	var out bytes.Buffer
+	out.Write(bundleMagic[:])
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(prog)))
+	out.Write(n[:])
+	out.Write(prog)
+	binary.LittleEndian.PutUint32(n[:], uint32(len(tbl)))
+	out.Write(n[:])
+	out.Write(tbl)
+	return out.Bytes(), nil
+}
+
+// DecodeBundle deserializes and cross-validates a bundle.
+func DecodeBundle(data []byte) (*Bundle, error) {
+	if len(data) < 8 || !bytes.Equal(data[:4], bundleMagic[:]) {
+		return nil, fmt.Errorf("core: not a VISA task bundle")
+	}
+	pos := 4
+	readBlock := func() ([]byte, error) {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("core: truncated bundle")
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		pos += 4
+		if pos+n > len(data) {
+			return nil, fmt.Errorf("core: truncated bundle block")
+		}
+		out := data[pos : pos+n]
+		pos += n
+		return out, nil
+	}
+	progBytes, err := readBlock()
+	if err != nil {
+		return nil, err
+	}
+	tblBytes, err := readBlock()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := isa.DecodeProgram(progBytes)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &WCETTable{}
+	if err := tbl.UnmarshalBinary(tblBytes); err != nil {
+		return nil, err
+	}
+	if tbl.NumSubTasks() != prog.NumSubTasks() {
+		return nil, fmt.Errorf("core: bundle WCET table does not match program sub-tasks")
+	}
+	return &Bundle{Program: prog, Table: tbl}, nil
+}

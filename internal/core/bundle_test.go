@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"visa/internal/clab"
+	"visa/internal/exec"
+	"visa/internal/wcet"
+)
+
+func buildBundle(t *testing.T, name string) (*Bundle, []byte) {
+	t.Helper()
+	prog := clab.ByName(name).MustProgram()
+	an, err := wcet.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := BuildWCETTable(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Bundle{Program: prog, Table: tbl}
+	data, err := EncodeBundle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, data
+}
+
+// TestBundleRoundTrip: a timing-safe task bundle survives serialization
+// with its program semantics and its timing contract intact.
+func TestBundleRoundTrip(t *testing.T) {
+	orig, data := buildBundle(t, "cnt")
+	got, err := DecodeBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Program: identical instruction stream and metadata.
+	if len(got.Program.Code) != len(orig.Program.Code) {
+		t.Fatalf("code length %d != %d", len(got.Program.Code), len(orig.Program.Code))
+	}
+	for pc := range got.Program.Code {
+		if got.Program.Code[pc] != orig.Program.Code[pc] {
+			t.Fatalf("instruction %d differs", pc)
+		}
+	}
+	if !bytes.Equal(got.Program.Data, orig.Program.Data) {
+		t.Fatal("data segment differs")
+	}
+	if len(got.Program.LoopBounds) != len(orig.Program.LoopBounds) {
+		t.Fatal("loop bounds lost")
+	}
+	if got.Program.NumSubTasks() != orig.Program.NumSubTasks() {
+		t.Fatal("marks lost")
+	}
+
+	// Architectural equivalence: same outputs.
+	m1, m2 := exec.New(orig.Program), exec.New(got.Program)
+	if _, err := m1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Out) != len(m2.Out) {
+		t.Fatal("outputs differ in length")
+	}
+	for i := range m1.Out {
+		if m1.Out[i] != m2.Out[i] {
+			t.Fatalf("output %d differs", i)
+		}
+	}
+
+	// Timing contract: identical table.
+	for i := range orig.Table.Points {
+		if got.Table.Points[i] != orig.Table.Points[i] {
+			t.Fatalf("point %d differs", i)
+		}
+		for k := range orig.Table.Cycles[i] {
+			if got.Table.Cycles[i][k] != orig.Table.Cycles[i][k] {
+				t.Fatalf("WCET[%d][%d] differs", i, k)
+			}
+		}
+	}
+}
+
+// TestBundlePlansSolveAfterLoad: the §1.2 scenario — a host that never saw
+// the source solves a safe plan from the shipped timing contract alone.
+func TestBundlePlansSolveAfterLoad(t *testing.T) {
+	_, data := buildBundle(t, "fft")
+	b, err := DecodeBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := b.Table.TotalTimeNs(len(b.Table.Points)-1) * 1.4
+	params := Params{DeadlineNs: deadline, OvhdNs: 1500}
+	pets := make([]float64, b.Table.NumSubTasks())
+	last := len(b.Table.Points) - 1
+	for k := range pets {
+		pets[k] = float64(b.Table.Cycles[last][k])
+	}
+	plan, ok := Solve(SpecVISA, params, b.Table, pets)
+	if !ok {
+		t.Fatal("no plan from loaded bundle")
+	}
+	if !plan.Speculating {
+		t.Fatal("loaded bundle should yield a checkpointed plan")
+	}
+}
+
+func TestBundleRejectsCorruption(t *testing.T) {
+	_, data := buildBundle(t, "cnt")
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		data[:8],
+		data[:len(data)-5],
+		append([]byte("XXXX"), data[4:]...),
+	}
+	for i, c := range cases {
+		if _, err := DecodeBundle(c); err == nil {
+			t.Errorf("case %d: corrupt bundle accepted", i)
+		}
+	}
+	// Mismatched sub-task counts must be rejected.
+	prog := clab.ByName("cnt").MustProgram()
+	other := clab.ByName("mm").MustProgram()
+	an, err := wcet.New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := BuildWCETTable(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeBundle(&Bundle{Program: prog, Table: tbl}); err == nil {
+		t.Error("mismatched bundle accepted at encode")
+	}
+}
+
+func TestWCETTableMarshalRoundTrip(t *testing.T) {
+	tbl := testTable([]int64{123, 456, 789})
+	data, err := tbl.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got WCETTable
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != len(tbl.Points) || got.NumSubTasks() != 3 {
+		t.Fatal("shape lost")
+	}
+	for i := range tbl.Points {
+		if got.Points[i] != tbl.Points[i] {
+			t.Fatalf("point %d differs", i)
+		}
+		for k := range tbl.Cycles[i] {
+			if got.Cycles[i][k] != tbl.Cycles[i][k] {
+				t.Fatalf("cycles[%d][%d] differ", i, k)
+			}
+		}
+	}
+	if err := got.UnmarshalBinary(data[:7]); err == nil {
+		t.Error("truncated table accepted")
+	}
+}

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"visa/internal/clab"
+	"visa/internal/power"
+	"visa/internal/wcet"
+)
+
+// testTable builds a small synthetic WCET table: each sub-task k costs
+// base[k] cycles at 1 GHz plus misses that scale with frequency.
+func testTable(base []int64) *WCETTable {
+	t := &WCETTable{Points: power.Points()}
+	for _, pt := range t.Points {
+		row := make([]int64, len(base))
+		for k, b := range base {
+			// Emulate the non-scaling memory component: 10 misses at
+			// ceil(100ns * f).
+			pen := int64(math.Ceil(100 * float64(pt.FMHz) / 1000))
+			row[k] = b + 10*pen
+		}
+		t.Cycles = append(t.Cycles, row)
+	}
+	return t
+}
+
+func TestWCETTableConversions(t *testing.T) {
+	tbl := testTable([]int64{1000, 2000})
+	last := len(tbl.Points) - 1
+	if tbl.NumSubTasks() != 2 {
+		t.Fatal("sub-task count")
+	}
+	// At 1 GHz, 1 cycle = 1 ns.
+	if got := tbl.TimeNs(last, 0); got != 1000+10*100 {
+		t.Errorf("TimeNs = %v", got)
+	}
+	// At 500 MHz the same work takes twice the time per cycle but fewer
+	// penalty cycles.
+	i500, err := tbl.PointIndex(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.TimeNs(i500, 0); got != (1000+10*50)*2 {
+		t.Errorf("TimeNs@500 = %v", got)
+	}
+	if tbl.TailTimeNs(last, 0) != tbl.TotalTimeNs(last) {
+		t.Error("tail from 0 should equal total")
+	}
+	if tbl.TailTimeNs(last, 1) >= tbl.TotalTimeNs(last) {
+		t.Error("tail from 1 should be less than total")
+	}
+	if _, err := tbl.PointIndex(123); err == nil {
+		t.Error("bogus frequency accepted")
+	}
+	tight, loose := tbl.Deadlines()
+	if tight >= loose {
+		t.Error("tight deadline must be below loose")
+	}
+}
+
+func TestSafeFrequency(t *testing.T) {
+	tbl := testTable([]int64{50_000, 50_000}) // ~101us at 1GHz
+	p := Params{DeadlineNs: 150_000, OvhdNs: 1000}
+	idx, ok := SafeFrequency(p, tbl)
+	if !ok {
+		t.Fatal("expected feasible")
+	}
+	// Need f such that ~101000 cycles / f <= 150us -> f >= ~675 MHz.
+	if got := tbl.Points[idx].FMHz; got < 675 || got > 750 {
+		t.Errorf("safe frequency = %d, expected around 700", got)
+	}
+	// And the total at that point indeed fits, while one step lower does not.
+	if tbl.TotalTimeNs(idx) > p.DeadlineNs {
+		t.Error("safe point does not fit")
+	}
+	if idx > 0 && tbl.TotalTimeNs(idx-1) <= p.DeadlineNs {
+		t.Error("safe point is not minimal")
+	}
+	if _, ok := SafeFrequency(Params{DeadlineNs: 10}, tbl); ok {
+		t.Error("impossible deadline accepted")
+	}
+}
+
+// TestSolveSatisfiesEquations: the returned pair must satisfy every EQ 4
+// (or EQ 2) inequality, and be minimal in f_spec.
+func TestSolveSatisfiesEquations(t *testing.T) {
+	tbl := testTable([]int64{20_000, 30_000, 25_000})
+	pets := []float64{5_000, 7_000, 6_000} // typical ~25% of WCET
+	p := Params{DeadlineNs: 110_000, OvhdNs: 1500}
+
+	for _, mode := range []SpecMode{SpecVISA, SpecConventional} {
+		plan, ok := Solve(mode, p, tbl, pets)
+		if !ok {
+			t.Fatalf("mode %v: no plan", mode)
+		}
+		if !plan.Speculating {
+			continue
+		}
+		si, err := tbl.PointIndex(plan.Spec.FMHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, err := tbl.PointIndex(plan.Rec.FMHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !feasible(mode, p, tbl, pets, si, ri) {
+			t.Errorf("mode %v: returned pair violates the equations", mode)
+		}
+		// Minimality of f_spec: no feasible pair with a lower f_spec.
+		for s2 := 0; s2 < si; s2++ {
+			for r2 := range tbl.Points {
+				if feasible(mode, p, tbl, pets, s2, r2) {
+					t.Errorf("mode %v: lower f_spec %d was feasible", mode, tbl.Points[s2].FMHz)
+				}
+			}
+		}
+	}
+}
+
+func TestVISANeverRunsUncheckpointed(t *testing.T) {
+	tbl := testTable([]int64{40_000, 40_000})
+	// A deadline so tight speculation is infeasible, but a safe frequency
+	// exists: the VISA plan must keep the watchdog armed.
+	p := Params{DeadlineNs: 85_000, OvhdNs: 1000}
+	plan, ok := Solve(SpecVISA, p, tbl, []float64{40_000, 40_000})
+	if !ok {
+		t.Fatal("expected fallback plan")
+	}
+	if !plan.Speculating {
+		t.Error("complex pipeline must never run without checkpoints")
+	}
+	conv, ok := Solve(SpecConventional, p, tbl, []float64{40_000, 40_000})
+	if !ok {
+		t.Fatal("expected conventional plan")
+	}
+	if conv.Speculating {
+		t.Error("conventional plan should run fixed when speculation cannot lower frequency")
+	}
+}
+
+func TestCheckpointsMonotoneAndSafe(t *testing.T) {
+	tbl := testTable([]int64{20_000, 30_000, 25_000})
+	pets := []float64{5_000, 7_000, 6_000}
+	p := Params{DeadlineNs: 120_000, OvhdNs: 1500}
+	plan, ok := Solve(SpecVISA, p, tbl, pets)
+	if !ok || !plan.Speculating {
+		t.Fatal("expected speculative plan")
+	}
+	ri, _ := tbl.PointIndex(plan.Rec.FMHz)
+	for i, cp := range plan.CheckpointsNs {
+		// EQ 1 identity.
+		want := p.DeadlineNs - p.OvhdNs - tbl.TailTimeNs(ri, i)
+		if math.Abs(cp-want) > 1e-6 {
+			t.Errorf("checkpoint %d = %v, want %v", i, cp, want)
+		}
+		if i > 0 && cp <= plan.CheckpointsNs[i-1] {
+			t.Errorf("checkpoints not strictly increasing at %d", i)
+		}
+		// Safety: time left after the checkpoint covers switch overhead
+		// plus re-running sub-tasks i..s at the recovery point.
+		if p.DeadlineNs-cp < p.OvhdNs+tbl.TailTimeNs(ri, i)-1e-6 {
+			t.Errorf("checkpoint %d leaves insufficient recovery budget", i)
+		}
+	}
+	// Watchdog programming (§2.2): init = cp_0 * f_spec, increments follow
+	// checkpoint deltas.
+	fsGHz := float64(plan.Spec.FMHz) / 1000
+	if got, want := plan.WatchdogInit, int64(plan.CheckpointsNs[0]*fsGHz); got != want {
+		t.Errorf("watchdog init = %d, want %d", got, want)
+	}
+	for i := 1; i < len(plan.WatchdogAdd); i++ {
+		want := int64((plan.CheckpointsNs[i] - plan.CheckpointsNs[i-1]) * fsGHz)
+		if plan.WatchdogAdd[i] != want {
+			t.Errorf("watchdog add %d = %d, want %d", i, plan.WatchdogAdd[i], want)
+		}
+	}
+}
+
+func TestConventionalBudgetsArePETs(t *testing.T) {
+	tbl := testTable([]int64{30_000, 30_000})
+	pets := []float64{6_000, 6_000}
+	p := Params{DeadlineNs: 100_000, OvhdNs: 1500}
+	plan, ok := Solve(SpecConventional, p, tbl, pets)
+	if !ok || !plan.Speculating {
+		t.Skip("conventional speculation not profitable for this setup")
+	}
+	if plan.WatchdogInit != 6000 || plan.WatchdogAdd[1] != 6000 {
+		t.Errorf("conventional budgets = %d/%v, want PET cycles", plan.WatchdogInit, plan.WatchdogAdd)
+	}
+}
+
+// TestSolverProperty: across random tables and deadlines, any returned
+// speculative plan satisfies its equations and never exceeds the deadline
+// when mispredictions strike at the worst sub-task.
+func TestSolverProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		s := 2 + r.Intn(8)
+		base := make([]int64, s)
+		pets := make([]float64, s)
+		var tot int64
+		for k := range base {
+			base[k] = int64(5_000 + r.Intn(40_000))
+			pets[k] = float64(base[k]) * (0.2 + r.Float64()*0.8)
+			tot += base[k]
+		}
+		tbl := testTable(base)
+		p := Params{
+			DeadlineNs: float64(tot) * (1.05 + r.Float64()),
+			OvhdNs:     float64(500 + r.Intn(3000)),
+		}
+		for _, mode := range []SpecMode{SpecVISA, SpecConventional} {
+			plan, ok := Solve(mode, p, tbl, pets)
+			if !ok {
+				continue
+			}
+			if !plan.Speculating {
+				si, _ := tbl.PointIndex(plan.Spec.FMHz)
+				if tbl.TotalTimeNs(si) > p.DeadlineNs {
+					t.Fatalf("trial %d: fixed plan does not fit deadline", trial)
+				}
+				continue
+			}
+			si, _ := tbl.PointIndex(plan.Spec.FMHz)
+			ri, _ := tbl.PointIndex(plan.Rec.FMHz)
+			if feasible(mode, p, tbl, pets, si, ri) {
+				continue
+			}
+			// The only legitimate non-EQ plan is the VISA fallback: run
+			// checkpointed at a provably safe frequency (spec == rec,
+			// ΣWCET fits), where a fired watchdog still meets the deadline
+			// by construction of EQ 1.
+			if mode == SpecVISA && si == ri && tbl.TotalTimeNs(si) <= p.DeadlineNs {
+				continue
+			}
+			t.Fatalf("trial %d mode %v: infeasible plan returned", trial, mode)
+		}
+	}
+}
+
+func TestWatchdogProtocol(t *testing.T) {
+	var w Watchdog
+	w.Arm(1000)
+	if !w.Armed() {
+		t.Fatal("not armed")
+	}
+	if w.Expired(999) {
+		t.Error("expired early")
+	}
+	w.Add(500, 300) // at cycle 500, add 300 -> expiry at 1300
+	if got := w.ExpiryCycle(); got != 1300 {
+		t.Errorf("expiry = %d, want 1300", got)
+	}
+	if w.Expired(1299) {
+		t.Error("expired at 1299")
+	}
+	if !w.Expired(1300) {
+		t.Error("did not expire at 1300")
+	}
+	if !w.Fired {
+		t.Error("Fired not latched")
+	}
+	w.Disarm()
+	if w.Expired(99999) {
+		t.Error("disarmed watchdog fired")
+	}
+	// Arm with a non-positive budget: immediately unarmed (plan infeasible
+	// checkpoint in the past).
+	var w2 Watchdog
+	w2.Arm(-5)
+	if w2.Armed() {
+		t.Error("negative budget should not arm")
+	}
+}
+
+func TestWatchdogRemainingDecrements(t *testing.T) {
+	var w Watchdog
+	w.Arm(100)
+	if got := w.Remaining(40); got != 60 {
+		t.Errorf("remaining = %d, want 60", got)
+	}
+	if got := w.Remaining(90); got != 10 {
+		t.Errorf("remaining = %d, want 10", got)
+	}
+}
+
+func TestLastNPolicy(t *testing.T) {
+	l := NewLastN(1, 3)
+	for _, v := range []float64{5, 9, 2, 4} {
+		l.Record(0, v)
+	}
+	// Window holds {9,2,4}: max 9... the 5 fell out only after 4 entries;
+	// window of 3 keeps {9,2,4}.
+	if got := l.Evaluate(0); got != 9 {
+		t.Errorf("lastN = %v, want 9", got)
+	}
+	l.Record(0, 1)
+	l.Record(0, 1) // window {4,1,1}
+	if got := l.Evaluate(0); got != 4 {
+		t.Errorf("lastN after decay = %v, want 4", got)
+	}
+}
+
+func TestHistogramPolicy(t *testing.T) {
+	h := NewHistogram(1, 0, 100)
+	for v := 1; v <= 100; v++ {
+		h.Record(0, float64(v))
+	}
+	if got := h.Evaluate(0); got != 100 {
+		t.Errorf("0%% target should give the max, got %v", got)
+	}
+	h10 := NewHistogram(1, 0.10, 100)
+	for v := 1; v <= 100; v++ {
+		h10.Record(0, float64(v))
+	}
+	got := h10.Evaluate(0)
+	if got < 85 || got > 91 {
+		t.Errorf("10%% target gave %v, want ~90 (10%% of samples higher)", got)
+	}
+	if NewHistogram(1, 0, 10).Evaluate(0) != 0 {
+		t.Error("empty history should evaluate to 0")
+	}
+}
+
+func TestEstimatorCadence(t *testing.T) {
+	est := NewEstimator(NewLastN(2, 10), []float64{50_000, 80_000}, 10)
+	reevals := 0
+	for i := 0; i < 30; i++ {
+		if est.RecordRun([]float64{10_000, 20_000}) {
+			reevals++
+		}
+	}
+	if reevals != 4 {
+		t.Errorf("re-evaluations = %d, want 4 (bootstrap + every 10th of 30)", reevals)
+	}
+	pets := est.PETs()
+	if pets[0] < 10_000 || pets[0] > 10_000*PETMarginFactor+PETMarginCycles {
+		t.Errorf("pets[0] = %v out of range", pets[0])
+	}
+	if pets[0] >= 50_000 {
+		t.Error("PETs did not adapt downward from the WCET seed")
+	}
+}
+
+// TestBuildWCETTable checks the end-to-end table on a real benchmark:
+// monotone total time in frequency (in the time domain) and 37 points.
+func TestBuildWCETTable(t *testing.T) {
+	prog := clab.ByName("cnt").MustProgram()
+	an, err := wcet.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := BuildWCETTable(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Points) != power.NumPoints {
+		t.Fatalf("table has %d points", len(tbl.Points))
+	}
+	for i := 1; i < len(tbl.Points); i++ {
+		if tbl.TotalTimeNs(i) >= tbl.TotalTimeNs(i-1) {
+			t.Errorf("total time not decreasing with frequency at %d MHz", tbl.Points[i].FMHz)
+		}
+	}
+}
+
+func TestDeviceMMIO(t *testing.T) {
+	var w Watchdog
+	now := int64(0)
+	dev := &Device{W: &w, Now: func() int64 { return now }, FreqMHz: 500, RecMHz: 900}
+	dev.MMIOWrite(0xFFFF_0000, 1000) // arm
+	now = 400
+	if got := dev.MMIORead(0xFFFF_0000); got != 600 {
+		t.Errorf("watchdog read = %d, want 600", got)
+	}
+	dev.MMIOWrite(0xFFFF_0008, 250) // add
+	if got := dev.MMIORead(0xFFFF_0000); got != 850 {
+		t.Errorf("watchdog after add = %d, want 850", got)
+	}
+	dev.MMIOWrite(0xFFFF_0010, 0) // reset cycle counter
+	now = 470
+	if got := dev.MMIORead(0xFFFF_0010); got != 70 {
+		t.Errorf("cycle counter = %d, want 70", got)
+	}
+	if dev.MMIORead(0xFFFF_0018) != 500 || dev.MMIORead(0xFFFF_0020) != 900 {
+		t.Error("frequency registers wrong")
+	}
+	dev.MMIOWrite(0xFFFF_0018, 700)
+	if dev.MMIORead(0xFFFF_0018) != 700 {
+		t.Error("frequency register write lost")
+	}
+	if dev.MMIORead(0xFFFF_0999) != 0 {
+		t.Error("unknown MMIO address should read 0")
+	}
+}

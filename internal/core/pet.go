@@ -1,0 +1,145 @@
+package core
+
+import "sort"
+
+// PETPolicy selects predicted execution times from per-sub-task AET
+// histories (paper §4.3). AETs and PETs are stored normalized as
+// nanoseconds-at-1GHz so they can be rescaled to any candidate frequency.
+type PETPolicy interface {
+	// Record logs one observed AET for sub-task k.
+	Record(k int, aet1G float64)
+	// Evaluate returns the PET for sub-task k from the recorded history.
+	Evaluate(k int) float64
+}
+
+// LastN implements the paper's last-N policy: PET is the maximum of the
+// last N recorded AETs (the paper uses N=10 and re-evaluates every tenth
+// task execution; all its experiments use this policy).
+type LastN struct {
+	N    int
+	hist [][]float64
+}
+
+// NewLastN creates the policy for s sub-tasks.
+func NewLastN(s, n int) *LastN {
+	return &LastN{N: n, hist: make([][]float64, s)}
+}
+
+// Record logs an AET, keeping only the last N.
+func (l *LastN) Record(k int, aet1G float64) {
+	h := append(l.hist[k], aet1G)
+	if len(h) > l.N {
+		h = h[len(h)-l.N:]
+	}
+	l.hist[k] = h
+}
+
+// Evaluate returns max of the window (0 when empty).
+func (l *LastN) Evaluate(k int) float64 {
+	m := 0.0
+	for _, v := range l.hist[k] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Histogram implements the paper's histogram policy: PET is chosen so that
+// TargetMissRate of the recorded AETs are higher. TargetMissRate = 0 gives
+// the maximum ever observed; a non-zero rate may lower the speculative
+// frequency at the cost of running in recovery mode more often (§4.3).
+type Histogram struct {
+	TargetMissRate float64
+	MaxSamples     int
+	samples        [][]float64
+}
+
+// NewHistogram creates the policy for s sub-tasks.
+func NewHistogram(s int, missRate float64, maxSamples int) *Histogram {
+	return &Histogram{TargetMissRate: missRate, MaxSamples: maxSamples, samples: make([][]float64, s)}
+}
+
+// Record logs an AET, keeping a bounded window.
+func (h *Histogram) Record(k int, aet1G float64) {
+	s := append(h.samples[k], aet1G)
+	if h.MaxSamples > 0 && len(s) > h.MaxSamples {
+		s = s[len(s)-h.MaxSamples:]
+	}
+	h.samples[k] = s
+}
+
+// Evaluate returns the (1-TargetMissRate) quantile of the history.
+func (h *Histogram) Evaluate(k int) float64 {
+	s := h.samples[k]
+	if len(s) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s...)
+	sort.Float64s(sorted)
+	// PET such that TargetMissRate of samples are strictly higher.
+	idx := len(sorted) - 1 - int(h.TargetMissRate*float64(len(sorted)))
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// PET head-room applied on top of the policy's estimate. Execution time
+// varies by a few cycles run to run (cache and predictor state); without
+// head-room a PET equal to the maximum observed AET sits on a knife edge
+// and fires the watchdog on ties. The margin is part of the PET, so the
+// solver budgets it consistently in EQ 2/EQ 4.
+const (
+	PETMarginFactor = 1.02
+	PETMarginCycles = 128
+)
+
+// Estimator couples a policy with the paper's re-evaluation cadence: PETs
+// (and hence frequencies, checkpoints, and watchdog values) are recomputed
+// every ReevalEvery-th task execution. The cost of that DVS software is
+// charged by the run-time harness.
+type Estimator struct {
+	Policy      PETPolicy
+	ReevalEvery int
+
+	pets  []float64
+	runs  int
+	valid bool
+}
+
+// NewEstimator builds an estimator with initial PETs seeded from WCET (the
+// first executions have no history; seeding with the safe bound means the
+// initial plan is conservative, then adapts).
+func NewEstimator(policy PETPolicy, seed []float64, reevalEvery int) *Estimator {
+	return &Estimator{
+		Policy:      policy,
+		ReevalEvery: reevalEvery,
+		pets:        append([]float64(nil), seed...),
+		valid:       true,
+	}
+}
+
+// PETs returns the current predictions (ns at 1 GHz).
+func (e *Estimator) PETs() []float64 { return e.pets }
+
+// RecordRun logs one task execution's per-sub-task AETs and reports whether
+// the caller should re-solve the plan: after the first execution (the
+// bootstrap from WCET-seeded PETs to measured ones — the run-time analogue
+// of the off-line profiling the original frequency-speculation work used)
+// and then every ReevalEvery-th run, as in the paper.
+func (e *Estimator) RecordRun(aets []float64) bool {
+	for k, v := range aets {
+		e.Policy.Record(k, v)
+	}
+	e.runs++
+	if e.runs != 1 && e.runs%e.ReevalEvery != 0 {
+		return false
+	}
+	for k := range e.pets {
+		if v := e.Policy.Evaluate(k); v > 0 {
+			e.pets[k] = v*PETMarginFactor + PETMarginCycles
+		}
+	}
+	return true
+}

@@ -1,0 +1,113 @@
+package core
+
+import "visa/internal/isa"
+
+// Watchdog is the hardware cycle counter of §2.2: software sets it to the
+// cycles remaining until the current checkpoint, hardware decrements it
+// every cycle, and reaching zero raises a missed-checkpoint exception
+// (unless masked: not running a hard real-time task, or already in simple
+// mode). The run-time harness drives it in the timing domain; it is also
+// exposed as the memory-mapped device of §5.1 so task code can access it
+// with loads and stores.
+type Watchdog struct {
+	remaining int64
+	baseCycle int64 // timing-domain cycle at which `remaining` was valid
+	armed     bool
+
+	// Fired records that the exception was raised for this task.
+	Fired bool
+}
+
+// Arm initializes the counter at task start (cycle 0 of the task).
+func (w *Watchdog) Arm(initCycles int64) {
+	w.remaining = initCycles
+	w.baseCycle = 0
+	w.armed = initCycles > 0
+	w.Fired = false
+}
+
+// Disarm masks the exception (simple mode, or no hard real-time task).
+func (w *Watchdog) Disarm() { w.armed = false }
+
+// Armed reports whether the exception is unmasked.
+func (w *Watchdog) Armed() bool { return w.armed }
+
+// Add advances the interim deadline at a sub-task boundary occurring at
+// `now` (task-relative cycles): the counter has been decrementing since
+// baseCycle and now gains the next sub-task's budget.
+func (w *Watchdog) Add(now, cycles int64) {
+	w.sync(now)
+	w.remaining += cycles
+}
+
+// sync accounts the autonomous once-per-cycle decrement up to `now`.
+func (w *Watchdog) sync(now int64) {
+	w.remaining -= now - w.baseCycle
+	w.baseCycle = now
+}
+
+// Remaining returns the counter value at `now`.
+func (w *Watchdog) Remaining(now int64) int64 {
+	w.sync(now)
+	return w.remaining
+}
+
+// ExpiryCycle returns the absolute task-relative cycle at which the counter
+// reaches zero if no more budget is added.
+func (w *Watchdog) ExpiryCycle() int64 { return w.baseCycle + w.remaining }
+
+// Expired reports whether the checkpoint is missed at `now`; if armed, it
+// latches Fired.
+func (w *Watchdog) Expired(now int64) bool {
+	if !w.armed {
+		return false
+	}
+	if now >= w.ExpiryCycle() {
+		w.Fired = true
+		return true
+	}
+	return false
+}
+
+// Device exposes the watchdog and the sub-task cycle counter (§4.3) at the
+// paper's memory-mapped addresses, for task code that manipulates them
+// directly with loads and stores. Now supplies the current timing-domain
+// cycle; frequencies are reported in MHz.
+type Device struct {
+	W        *Watchdog
+	Now      func() int64
+	FreqMHz  int
+	RecMHz   int
+	cycleRef int64
+}
+
+// MMIORead implements mem.Device.
+func (d *Device) MMIORead(addr uint32) uint32 {
+	switch addr {
+	case isa.MMIOWatchdog:
+		return uint32(d.W.Remaining(d.Now()))
+	case isa.MMIOCycle:
+		return uint32(d.Now() - d.cycleRef)
+	case isa.MMIOFreq:
+		return uint32(d.FreqMHz)
+	case isa.MMIOFreqRec:
+		return uint32(d.RecMHz)
+	}
+	return 0
+}
+
+// MMIOWrite implements mem.Device.
+func (d *Device) MMIOWrite(addr uint32, v uint32) {
+	switch addr {
+	case isa.MMIOWatchdog:
+		d.W.Arm(int64(int32(v)))
+	case isa.MMIOWatchdogAdd:
+		d.W.Add(d.Now(), int64(int32(v)))
+	case isa.MMIOCycle:
+		d.cycleRef = d.Now()
+	case isa.MMIOFreq:
+		d.FreqMHz = int(v)
+	case isa.MMIOFreqRec:
+		d.RecMHz = int(v)
+	}
+}

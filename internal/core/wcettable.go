@@ -1,0 +1,102 @@
+// Package core implements the paper's primary contribution: the virtual
+// simple architecture run-time framework. It provides
+//
+//   - sub-task checkpoints per EQ 1 (§2.1) and the watchdog-counter
+//     protocol that enforces them (§2.2);
+//   - frequency speculation adapted to the VISA framework: the conventional
+//     formulation (EQ 2, [Rotenberg 2001]) used by the explicitly-safe
+//     processor, and the VISA formulation (EQ 4) in which recovery switches
+//     both frequency and pipeline mode (§4.2);
+//   - the iterative solver for the lowest safe {f_spec, f_rec} pair over
+//     the 37 DVS operating points; and
+//   - predicted-execution-time (PET) selection from run-time AET histories
+//     with the last-N and histogram policies, re-evaluated every tenth task
+//     execution (§4.3).
+package core
+
+import (
+	"fmt"
+
+	"visa/internal/power"
+	"visa/internal/wcet"
+)
+
+// WCETTable holds per-sub-task worst-case execution times in cycles at
+// every DVS operating point, as produced by the static timing analyzer.
+// WCET is kept per-frequency because the memory-stall component does not
+// scale with frequency (paper §1.2, Table 1).
+type WCETTable struct {
+	Points []power.OperatingPoint
+	Cycles [][]int64 // [point][sub-task]
+}
+
+// BuildWCETTable runs the analyzer at every operating point.
+func BuildWCETTable(an *wcet.Analyzer) (*WCETTable, error) {
+	return BuildWCETTableAt(an, power.Points())
+}
+
+// BuildWCETTableAt runs the analyzer over a custom operating-point list
+// (used for the Figure 3 what-if where simple-fixed clocks 1.5x faster at
+// equal voltage).
+func BuildWCETTableAt(an *wcet.Analyzer, pts []power.OperatingPoint) (*WCETTable, error) {
+	t := &WCETTable{Points: pts}
+	for _, pt := range t.Points {
+		res, err := an.Analyze(pt.FMHz)
+		if err != nil {
+			return nil, err
+		}
+		t.Cycles = append(t.Cycles, res.SubTasks)
+	}
+	return t, nil
+}
+
+// NumSubTasks returns the number of sub-tasks in the table.
+func (t *WCETTable) NumSubTasks() int {
+	if len(t.Cycles) == 0 {
+		return 0
+	}
+	return len(t.Cycles[0])
+}
+
+// TimeNs returns sub-task k's WCET in nanoseconds at point index pi.
+func (t *WCETTable) TimeNs(pi, k int) float64 {
+	return float64(t.Cycles[pi][k]) * 1000 / float64(t.Points[pi].FMHz)
+}
+
+// TotalTimeNs returns the whole-task WCET in nanoseconds at point pi.
+func (t *WCETTable) TotalTimeNs(pi int) float64 {
+	var sum float64
+	for k := range t.Cycles[pi] {
+		sum += t.TimeNs(pi, k)
+	}
+	return sum
+}
+
+// TailTimeNs returns the summed WCET of sub-tasks k..s-1 at point pi
+// (the Σ WCET term of EQ 1 and EQ 4).
+func (t *WCETTable) TailTimeNs(pi, k int) float64 {
+	var sum float64
+	for j := k; j < len(t.Cycles[pi]); j++ {
+		sum += t.TimeNs(pi, j)
+	}
+	return sum
+}
+
+// PointIndex locates fMHz in the table.
+func (t *WCETTable) PointIndex(fMHz int) (int, error) {
+	for i, p := range t.Points {
+		if p.FMHz == fMHz {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: %d MHz not in WCET table", fMHz)
+}
+
+// Deadlines derives the paper's two deadline settings from the task's WCET
+// at the maximum frequency: the tight deadline forces the explicitly-safe
+// processor toward its highest frequencies (paper: 800-900 MHz) and the
+// loose one toward intermediate frequencies (paper: around 600 MHz).
+func (t *WCETTable) Deadlines() (tightNs, looseNs float64) {
+	base := t.TotalTimeNs(len(t.Points) - 1) // WCET at 1 GHz
+	return base * 1.15, base * 1.6
+}

@@ -1,0 +1,293 @@
+// Package exec implements the functional (architectural) executor. Both
+// cycle-level timing models are functional-first: the executor runs the
+// program architecturally and streams one DynInst record per retired
+// instruction, which the timing models consume to compute cycles, cache
+// behaviour, and branch outcomes.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"visa/internal/isa"
+	"visa/internal/mem"
+)
+
+// DynInst is one dynamically executed instruction, with everything a timing
+// model needs: the static instruction, its effective address for memory
+// operations, and the actual control-flow outcome for branches.
+type DynInst struct {
+	Seq    int64    // 0-based dynamic sequence number
+	PC     int      // instruction index
+	Inst   isa.Inst // static instruction
+	Addr   uint32   // effective address (memory ops)
+	Taken  bool     // branch/jump outcome
+	NextPC int      // actual successor PC
+}
+
+// Machine holds architectural state for one task execution.
+type Machine struct {
+	Prog *isa.Program
+	Mem  *mem.Memory
+
+	R  [32]int32
+	F  [32]float64
+	PC int
+
+	// Out and OutF collect the values written by OUT/OUTF, giving tests an
+	// observable result to compare against a reference computation.
+	Out  []int32
+	OutF []float64
+
+	Seq    int64
+	Halted bool
+
+	srcBuf [2]uint8
+}
+
+// New creates a machine with the program's data image loaded and the stack
+// pointer initialized.
+func New(p *isa.Program) *Machine {
+	m := &Machine{Prog: p, Mem: mem.New()}
+	m.Reset()
+	return m
+}
+
+// Reset restores initial architectural state: registers cleared, data image
+// reloaded, PC at the entry point. The memory device attachment survives.
+func (m *Machine) Reset() {
+	m.R = [32]int32{}
+	m.F = [32]float64{}
+	m.R[isa.RegSP] = int32(isa.StackTop)
+	m.R[isa.RegFP] = int32(isa.StackTop)
+	m.Mem.Reset()
+	m.Mem.LoadImage(isa.DataBase, m.Prog.Data)
+	m.PC = m.Prog.Entry()
+	m.Out = m.Out[:0]
+	m.OutF = m.OutF[:0]
+	m.Seq = 0
+	m.Halted = false
+	// A return from the entry function lands on the sentinel, halting.
+	m.R[isa.RegRA] = int32(len(m.Prog.Code))
+}
+
+// ExecError wraps an execution fault with its location.
+type ExecError struct {
+	PC  int
+	Seq int64
+	Err error
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("exec fault at pc %d (seq %d): %v", e.PC, e.Seq, e.Err)
+}
+
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// Step executes one instruction and returns its dynamic record. After HALT
+// (or a return past the end of code) it returns ok=false.
+func (m *Machine) Step() (DynInst, bool, error) {
+	if m.Halted {
+		return DynInst{}, false, nil
+	}
+	if m.PC < 0 || m.PC >= len(m.Prog.Code) {
+		// Reaching the end-of-code sentinel is a clean halt (return from
+		// the entry function).
+		if m.PC == len(m.Prog.Code) {
+			m.Halted = true
+			return DynInst{}, false, nil
+		}
+		return DynInst{}, false, &ExecError{m.PC, m.Seq, fmt.Errorf("pc out of range")}
+	}
+	in := m.Prog.Code[m.PC]
+	d := DynInst{Seq: m.Seq, PC: m.PC, Inst: in, NextPC: m.PC + 1}
+	if err := m.execute(in, &d); err != nil {
+		return DynInst{}, false, &ExecError{m.PC, m.Seq, err}
+	}
+	m.R[0] = 0
+	m.PC = d.NextPC
+	m.Seq++
+	if in.Op == isa.HALT {
+		m.Halted = true
+	}
+	return d, true, nil
+}
+
+// Run executes until halt (or the step limit) and returns the number of
+// dynamic instructions. It is the fast path for tests that only need
+// architectural results.
+func (m *Machine) Run(limit int64) (int64, error) {
+	for {
+		_, ok, err := m.Step()
+		if err != nil {
+			return m.Seq, err
+		}
+		if !ok {
+			return m.Seq, nil
+		}
+		if limit > 0 && m.Seq >= limit {
+			return m.Seq, fmt.Errorf("step limit %d exceeded", limit)
+		}
+	}
+}
+
+func (m *Machine) execute(in isa.Inst, d *DynInst) error {
+	setR := func(v int32) {
+		if in.Rd != 0 {
+			m.R[in.Rd] = v
+		}
+	}
+	rs, rt := m.R[in.Rs], m.R[in.Rt]
+	switch in.Op {
+	case isa.NOP:
+	case isa.ADD:
+		setR(rs + rt)
+	case isa.SUB:
+		setR(rs - rt)
+	case isa.AND:
+		setR(rs & rt)
+	case isa.OR:
+		setR(rs | rt)
+	case isa.XOR:
+		setR(rs ^ rt)
+	case isa.NOR:
+		setR(^(rs | rt))
+	case isa.SLL:
+		setR(rs << (uint32(rt) & 31))
+	case isa.SRL:
+		setR(int32(uint32(rs) >> (uint32(rt) & 31)))
+	case isa.SRA:
+		setR(rs >> (uint32(rt) & 31))
+	case isa.SLT:
+		setR(b2i(rs < rt))
+	case isa.SLTU:
+		setR(b2i(uint32(rs) < uint32(rt)))
+	case isa.ADDI:
+		setR(rs + in.Imm)
+	case isa.ANDI:
+		setR(rs & in.Imm)
+	case isa.ORI:
+		setR(rs | in.Imm)
+	case isa.XORI:
+		setR(rs ^ in.Imm)
+	case isa.SLTI:
+		setR(b2i(rs < in.Imm))
+	case isa.SLLI:
+		setR(rs << (uint32(in.Imm) & 31))
+	case isa.SRLI:
+		setR(int32(uint32(rs) >> (uint32(in.Imm) & 31)))
+	case isa.SRAI:
+		setR(rs >> (uint32(in.Imm) & 31))
+	case isa.LUI:
+		setR(in.Imm << 16)
+	case isa.MUL:
+		setR(rs * rt)
+	case isa.DIV:
+		if rt == 0 {
+			setR(0)
+		} else {
+			setR(rs / rt)
+		}
+	case isa.REM:
+		if rt == 0 {
+			setR(0)
+		} else {
+			setR(rs % rt)
+		}
+	case isa.FADD:
+		m.F[in.Rd] = m.F[in.Rs] + m.F[in.Rt]
+	case isa.FSUB:
+		m.F[in.Rd] = m.F[in.Rs] - m.F[in.Rt]
+	case isa.FMUL:
+		m.F[in.Rd] = m.F[in.Rs] * m.F[in.Rt]
+	case isa.FDIV:
+		m.F[in.Rd] = m.F[in.Rs] / m.F[in.Rt]
+	case isa.FNEG:
+		m.F[in.Rd] = -m.F[in.Rs]
+	case isa.FMOV:
+		m.F[in.Rd] = m.F[in.Rs]
+	case isa.CVTIF:
+		m.F[in.Rd] = float64(m.R[in.Rs])
+	case isa.CVTFI:
+		v := math.Trunc(m.F[in.Rs])
+		switch {
+		case math.IsNaN(v):
+			setR(0)
+		case v >= math.MaxInt32:
+			setR(math.MaxInt32)
+		case v <= math.MinInt32:
+			setR(math.MinInt32)
+		default:
+			setR(int32(v))
+		}
+	case isa.FEQ:
+		setR(b2i(m.F[in.Rs] == m.F[in.Rt]))
+	case isa.FLT:
+		setR(b2i(m.F[in.Rs] < m.F[in.Rt]))
+	case isa.FLE:
+		setR(b2i(m.F[in.Rs] <= m.F[in.Rt]))
+	case isa.LW:
+		d.Addr = uint32(rs + in.Imm)
+		v, err := m.Mem.ReadWord(d.Addr)
+		if err != nil {
+			return err
+		}
+		setR(int32(v))
+	case isa.SW:
+		d.Addr = uint32(rs + in.Imm)
+		return m.Mem.WriteWord(d.Addr, uint32(m.R[in.Rd]))
+	case isa.LD:
+		d.Addr = uint32(rs + in.Imm)
+		v, err := m.Mem.ReadDouble(d.Addr)
+		if err != nil {
+			return err
+		}
+		m.F[in.Rd] = v
+	case isa.SD:
+		d.Addr = uint32(rs + in.Imm)
+		return m.Mem.WriteDouble(d.Addr, m.F[in.Rd])
+	case isa.BEQ:
+		m.branch(d, rs == rt, in.Imm)
+	case isa.BNE:
+		m.branch(d, rs != rt, in.Imm)
+	case isa.BLT:
+		m.branch(d, rs < rt, in.Imm)
+	case isa.BGE:
+		m.branch(d, rs >= rt, in.Imm)
+	case isa.J:
+		m.branch(d, true, in.Imm)
+	case isa.JAL:
+		m.R[isa.RegRA] = int32(m.PC + 1)
+		m.branch(d, true, in.Imm)
+	case isa.JR:
+		d.Taken = true
+		d.NextPC = int(rs)
+	case isa.JALR:
+		setR(int32(m.PC + 1))
+		d.Taken = true
+		d.NextPC = int(rs)
+	case isa.MARK:
+	case isa.OUT:
+		m.Out = append(m.Out, rs)
+	case isa.OUTF:
+		m.OutF = append(m.OutF, m.F[in.Rs])
+	case isa.HALT:
+	default:
+		return fmt.Errorf("unimplemented opcode %s", in.Op.Name())
+	}
+	return nil
+}
+
+func (m *Machine) branch(d *DynInst, taken bool, target int32) {
+	d.Taken = taken
+	if taken {
+		d.NextPC = int(target)
+	}
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

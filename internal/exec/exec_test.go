@@ -1,0 +1,269 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"visa/internal/isa"
+)
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	p, err := isa.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLoopSum(t *testing.T) {
+	m := run(t, `
+.data
+vec: .word 3 1 4 1 5 9 2 6
+.text
+.func main
+    li r1, 8
+    la r2, vec
+    li r3, 0
+    li r4, 0
+loop:
+    lw r5, 0(r2)
+    add r3, r3, r5
+    addi r2, r2, 4
+    addi r4, r4, 1
+    blt r4, r1, loop #bound 8
+    out r3
+    halt
+.endfunc`)
+	if len(m.Out) != 1 || m.Out[0] != 31 {
+		t.Fatalf("Out = %v, want [31]", m.Out)
+	}
+}
+
+func TestCallAndStack(t *testing.T) {
+	m := run(t, `
+.text
+.func main
+    li r4, 10
+    call double_it
+    out r2
+    li r4, -7
+    call double_it
+    out r2
+    halt
+.endfunc
+.func double_it
+    addi r29, r29, -8
+    sw r31, 0(r29)
+    add r2, r4, r4
+    lw r31, 0(r29)
+    addi r29, r29, 8
+    ret
+.endfunc`)
+	if len(m.Out) != 2 || m.Out[0] != 20 || m.Out[1] != -14 {
+		t.Fatalf("Out = %v, want [20 -14]", m.Out)
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	m := run(t, `
+.data
+a: .double 1.5
+b: .double -2.25
+.text
+.func main
+    la r1, a
+    ld f1, 0(r1)
+    la r2, b
+    ld f2, 0(r2)
+    fadd f3, f1, f2
+    outf f3
+    fmul f4, f1, f2
+    outf f4
+    fdiv f5, f1, f2
+    outf f5
+    fneg f6, f2
+    outf f6
+    flt r3, f2, f1
+    out r3
+    cvtfi r4, f2
+    out r4
+    cvtif f7, r3
+    outf f7
+    halt
+.endfunc`)
+	wantF := []float64{-0.75, -3.375, 1.5 / -2.25, 2.25, 1}
+	if len(m.OutF) != len(wantF) {
+		t.Fatalf("OutF = %v", m.OutF)
+	}
+	for i, w := range wantF {
+		if math.Abs(m.OutF[i]-w) > 1e-12 {
+			t.Errorf("OutF[%d] = %v, want %v", i, m.OutF[i], w)
+		}
+	}
+	if len(m.Out) != 2 || m.Out[0] != 1 || m.Out[1] != -2 {
+		t.Errorf("Out = %v, want [1 -2] (flt, truncating cvtfi)", m.Out)
+	}
+}
+
+func TestIntegerOps(t *testing.T) {
+	m := run(t, `
+.text
+.func main
+    li r1, 13
+    li r2, 5
+    mul r3, r1, r2
+    out r3
+    div r3, r1, r2
+    out r3
+    rem r3, r1, r2
+    out r3
+    li r4, -16
+    li r5, 2
+    sra r6, r4, r5
+    out r6
+    srl r6, r4, r5
+    out r6
+    sll r6, r2, r5
+    out r6
+    slt r6, r4, r2
+    out r6
+    sltu r6, r4, r2
+    out r6
+    xor r6, r1, r2
+    out r6
+    nor r6, r0, r0
+    out r6
+    div r6, r1, r0
+    out r6
+    halt
+.endfunc`)
+	want := []int32{65, 2, 3, -4, int32(uint32(0xFFFFFFF0) >> 2), 20, 1, 0, 8, -1, 0}
+	if len(m.Out) != len(want) {
+		t.Fatalf("Out = %v, want %v", m.Out, want)
+	}
+	for i, w := range want {
+		if m.Out[i] != w {
+			t.Errorf("Out[%d] = %d, want %d", i, m.Out[i], w)
+		}
+	}
+}
+
+func TestR0IsZero(t *testing.T) {
+	m := run(t, `
+.text
+.func main
+    addi r0, r0, 7
+    out r0
+    halt
+.endfunc`)
+	if m.Out[0] != 0 {
+		t.Fatalf("r0 = %d after write, want 0", m.Out[0])
+	}
+}
+
+func TestDynInstRecords(t *testing.T) {
+	p := isa.MustAssemble("t", `
+.text
+.func main
+    li r1, 2
+    li r2, 0
+loop:
+    addi r2, r2, 1
+    blt r2, r1, loop #bound 2
+    sw r2, 0(r29)
+    halt
+.endfunc`)
+	m := New(p)
+	var branches, taken int
+	var lastStore DynInst
+	for {
+		d, ok, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if d.Inst.Op == isa.BLT {
+			branches++
+			if d.Taken {
+				taken++
+				if d.NextPC != int(d.Inst.Imm) {
+					t.Errorf("taken branch NextPC=%d, want %d", d.NextPC, d.Inst.Imm)
+				}
+			} else if d.NextPC != d.PC+1 {
+				t.Errorf("not-taken branch NextPC=%d, want %d", d.NextPC, d.PC+1)
+			}
+		}
+		if d.Inst.Op == isa.SW {
+			lastStore = d
+		}
+	}
+	if branches != 2 || taken != 1 {
+		t.Errorf("branches=%d taken=%d, want 2/1", branches, taken)
+	}
+	if lastStore.Addr != isa.StackTop {
+		t.Errorf("store addr = %#x, want %#x", lastStore.Addr, isa.StackTop)
+	}
+}
+
+func TestResetIsDeterministic(t *testing.T) {
+	p := isa.MustAssemble("t", `
+.data
+v: .word 5
+.text
+.func main
+    la r1, v
+    lw r2, 0(r1)
+    addi r2, r2, 1
+    sw r2, 0(r1)
+    out r2
+    halt
+.endfunc`)
+	m := New(p)
+	for i := 0; i < 3; i++ {
+		m.Reset()
+		if _, err := m.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		// Memory rewrites must not leak across Reset.
+		if len(m.Out) != 1 || m.Out[0] != 6 {
+			t.Fatalf("run %d: Out = %v, want [6]", i, m.Out)
+		}
+	}
+}
+
+func TestHaltOnReturnFromMain(t *testing.T) {
+	m := run(t, `
+.text
+.func main
+    li r2, 9
+    out r2
+    ret
+.endfunc`)
+	if !m.Halted {
+		t.Fatal("machine did not halt on return from main")
+	}
+	if len(m.Out) != 1 || m.Out[0] != 9 {
+		t.Fatalf("Out = %v", m.Out)
+	}
+}
+
+func TestMisalignedAccessFaults(t *testing.T) {
+	p := isa.MustAssemble("t", `
+.text
+.func main
+    li r1, 2
+    lw r2, 0(r1)
+    halt
+.endfunc`)
+	m := New(p)
+	if _, err := m.Run(0); err == nil {
+		t.Fatal("misaligned load did not fault")
+	}
+}

@@ -1,0 +1,272 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Object-file format. A Program serializes to a compact binary image:
+// machine code in the 32-bit instruction encoding, the initial data
+// segment, and the metadata sections the timing analyzer needs (function
+// ranges, loop bounds, sub-task marks, labels). Together with a serialized
+// WCET table (internal/core), this realizes the paper's §1.2 vision of
+// appending parameterized worst-case timing information to a task binary.
+
+var objMagic = [4]byte{'V', 'I', 'S', 'A'}
+
+const objVersion = 1
+
+type section struct {
+	tag  string // 4 bytes
+	body []byte
+}
+
+func writeSection(w *bytes.Buffer, tag string, body []byte) {
+	w.WriteString(tag)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(body)))
+	w.Write(n[:])
+	w.Write(body)
+}
+
+func putString(w *bytes.Buffer, s string) {
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+	w.Write(n[:])
+	w.WriteString(s)
+}
+
+func putU32(w *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+// EncodeProgram serializes the program.
+func (p *Program) EncodeProgram() ([]byte, error) {
+	var out bytes.Buffer
+	out.Write(objMagic[:])
+	out.WriteByte(objVersion)
+	putString(&out, p.Name)
+
+	var code bytes.Buffer
+	for pc, in := range p.Code {
+		w, err := Encode(in, pc)
+		if err != nil {
+			return nil, fmt.Errorf("objfile: pc %d: %w", pc, err)
+		}
+		putU32(&code, w)
+	}
+	writeSection(&out, "CODE", code.Bytes())
+	writeSection(&out, "DATA", p.Data)
+
+	var fn bytes.Buffer
+	for _, f := range p.Funcs {
+		putString(&fn, f.Name)
+		putU32(&fn, uint32(f.Start))
+		putU32(&fn, uint32(f.End))
+	}
+	writeSection(&out, "FUNC", fn.Bytes())
+
+	var bnd bytes.Buffer
+	pcs := make([]int, 0, len(p.LoopBounds))
+	for pc := range p.LoopBounds {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	for _, pc := range pcs {
+		putU32(&bnd, uint32(pc))
+		putU32(&bnd, uint32(p.LoopBounds[pc]))
+	}
+	writeSection(&out, "BOND", bnd.Bytes())
+
+	var lbl bytes.Buffer
+	names := make([]string, 0, len(p.Labels))
+	for n := range p.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		putString(&lbl, n)
+		putU32(&lbl, uint32(p.Labels[n]))
+	}
+	writeSection(&out, "LABL", lbl.Bytes())
+
+	var dlbl bytes.Buffer
+	names = names[:0]
+	for n := range p.DataLabels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		putString(&dlbl, n)
+		putU32(&dlbl, p.DataLabels[n])
+	}
+	writeSection(&out, "DLBL", dlbl.Bytes())
+
+	return out.Bytes(), nil
+}
+
+type objReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *objReader) bytes(n int) ([]byte, error) {
+	if r.pos+n > len(r.b) {
+		return nil, fmt.Errorf("objfile: truncated at offset %d", r.pos)
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *objReader) u16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *objReader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *objReader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *objReader) done() bool { return r.pos >= len(r.b) }
+
+// DecodeProgram deserializes a program image and validates it.
+func DecodeProgram(data []byte) (*Program, error) {
+	r := &objReader{b: data}
+	magic, err := r.bytes(4)
+	if err != nil || !bytes.Equal(magic, objMagic[:]) {
+		return nil, fmt.Errorf("objfile: bad magic")
+	}
+	ver, err := r.bytes(1)
+	if err != nil || ver[0] != objVersion {
+		return nil, fmt.Errorf("objfile: unsupported version")
+	}
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Name:       name,
+		Labels:     map[string]int{},
+		DataLabels: map[string]uint32{},
+		LoopBounds: map[int]int{},
+	}
+	for !r.done() {
+		tagB, err := r.bytes(4)
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		body, err := r.bytes(int(size))
+		if err != nil {
+			return nil, err
+		}
+		s := &objReader{b: body}
+		switch string(tagB) {
+		case "CODE":
+			if size%4 != 0 {
+				return nil, fmt.Errorf("objfile: ragged code section")
+			}
+			for pc := 0; !s.done(); pc++ {
+				w, err := s.u32()
+				if err != nil {
+					return nil, err
+				}
+				in, err := Decode(w, pc)
+				if err != nil {
+					return nil, err
+				}
+				if in.Op == MARK {
+					p.Marks = append(p.Marks, pc)
+				}
+				p.Code = append(p.Code, in)
+			}
+		case "DATA":
+			p.Data = append([]byte(nil), body...)
+		case "FUNC":
+			for !s.done() {
+				fname, err := s.str()
+				if err != nil {
+					return nil, err
+				}
+				start, err := s.u32()
+				if err != nil {
+					return nil, err
+				}
+				end, err := s.u32()
+				if err != nil {
+					return nil, err
+				}
+				p.Funcs = append(p.Funcs, FuncInfo{fname, int(start), int(end)})
+			}
+		case "BOND":
+			for !s.done() {
+				pc, err := s.u32()
+				if err != nil {
+					return nil, err
+				}
+				bound, err := s.u32()
+				if err != nil {
+					return nil, err
+				}
+				p.LoopBounds[int(pc)] = int(bound)
+			}
+		case "LABL":
+			for !s.done() {
+				l, err := s.str()
+				if err != nil {
+					return nil, err
+				}
+				v, err := s.u32()
+				if err != nil {
+					return nil, err
+				}
+				p.Labels[l] = int(v)
+			}
+		case "DLBL":
+			for !s.done() {
+				l, err := s.str()
+				if err != nil {
+					return nil, err
+				}
+				v, err := s.u32()
+				if err != nil {
+					return nil, err
+				}
+				p.DataLabels[l] = v
+			}
+		default:
+			// Unknown sections are skipped (forward compatibility).
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

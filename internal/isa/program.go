@@ -1,0 +1,193 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Memory layout. Code lives in its own segment (instructions are fetched by
+// index; I-cache addresses are derived from CodeBase). Data and stack share
+// the flat data memory. The memory-mapped device page holds the watchdog
+// counter, cycle counter, and frequency registers from the paper.
+const (
+	CodeBase  uint32 = 0x0040_0000
+	DataBase  uint32 = 0x1000_0000
+	StackTop  uint32 = 0x2000_0000
+	MMIOBase  uint32 = 0xFFFF_0000
+	InstBytes        = 4
+)
+
+// Memory-mapped device registers (paper §2.2, §5.1). All are 8 bytes wide
+// and accessed with LW/SW on their low word in the benchmarks' snippets.
+const (
+	MMIOWatchdog    uint32 = MMIOBase + 0x00 // read: current; write: set
+	MMIOWatchdogAdd uint32 = MMIOBase + 0x08 // write: add cycles
+	MMIOCycle       uint32 = MMIOBase + 0x10 // read: cycle counter; write: reset
+	MMIOFreq        uint32 = MMIOBase + 0x18 // current frequency (MHz)
+	MMIOFreqRec     uint32 = MMIOBase + 0x20 // recovery frequency (MHz)
+)
+
+// FuncInfo records a function's half-open instruction range [Start, End).
+type FuncInfo struct {
+	Name  string
+	Start int
+	End   int
+}
+
+// Program is an assembled task image: code, initial data, and the metadata
+// (labels, function ranges, loop bounds, sub-task marks) that the functional
+// executor and the static timing analyzer consume.
+type Program struct {
+	Name string
+
+	Code []Inst
+
+	// Data is the initial image of the data segment, loaded at DataBase.
+	Data []byte
+
+	// Labels maps code labels to instruction indexes.
+	Labels map[string]int
+
+	// DataLabels maps data labels to absolute byte addresses.
+	DataLabels map[string]uint32
+
+	// Funcs lists functions in ascending Start order. Entry is Funcs[0]
+	// unless a function named "main" exists.
+	Funcs []FuncInfo
+
+	// LoopBounds maps the instruction index of a loop back-edge branch to
+	// the maximum number of times that back edge can be taken per entry to
+	// the loop. These come from #bound annotations (emitted by the mini-C
+	// compiler for counted loops, or written by hand) and are inputs to the
+	// static timing analyzer, as in the paper's Figure 1.
+	LoopBounds map[int]int
+
+	// Marks lists the instruction indexes of MARK (sub-task boundary)
+	// instructions in program order.
+	Marks []int
+}
+
+// Entry returns the instruction index where execution starts.
+func (p *Program) Entry() int {
+	for _, f := range p.Funcs {
+		if f.Name == "main" {
+			return f.Start
+		}
+	}
+	if len(p.Funcs) > 0 {
+		return p.Funcs[0].Start
+	}
+	return 0
+}
+
+// FuncByName returns the named function's range.
+func (p *Program) FuncByName(name string) (FuncInfo, bool) {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FuncInfo{}, false
+}
+
+// FuncAt returns the function containing instruction index pc.
+func (p *Program) FuncAt(pc int) (FuncInfo, bool) {
+	i := sort.Search(len(p.Funcs), func(i int) bool { return p.Funcs[i].End > pc })
+	if i < len(p.Funcs) && pc >= p.Funcs[i].Start {
+		return p.Funcs[i], true
+	}
+	return FuncInfo{}, false
+}
+
+// InstAddr returns the byte address of instruction index pc, used for
+// I-cache indexing.
+func InstAddr(pc int) uint32 { return CodeBase + uint32(pc)*InstBytes }
+
+// NumSubTasks returns the number of sub-tasks implied by the MARK
+// instructions. Every benchmark begins with MARK 0; the task therefore has
+// len(Marks) sub-tasks.
+func (p *Program) NumSubTasks() int { return len(p.Marks) }
+
+// Disassemble renders the whole program with labels, one instruction per
+// line, for debugging and for the analyzer's reports.
+func (p *Program) Disassemble() string {
+	labelAt := make(map[int][]string)
+	for name, pc := range p.Labels {
+		labelAt[pc] = append(labelAt[pc], name)
+	}
+	for pc := range labelAt {
+		sort.Strings(labelAt[pc])
+	}
+	var b strings.Builder
+	for pc, in := range p.Code {
+		for _, l := range labelAt[pc] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "%6d  %s", pc, in.String())
+		if bound, ok := p.LoopBounds[pc]; ok {
+			fmt.Fprintf(&b, "  #bound %d", bound)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Validate checks structural well-formedness: branch/jump targets in range,
+// registers in range, functions non-overlapping and covering, marks in
+// ascending order with indexes 0..n-1, and loop bounds attached to backward
+// branches. The assembler and compiler both run it; tests rely on it.
+func (p *Program) Validate() error {
+	n := len(p.Code)
+	if n == 0 {
+		return fmt.Errorf("%s: empty program", p.Name)
+	}
+	for pc, in := range p.Code {
+		switch in.Op.Format() {
+		case FmtBranch, FmtJump:
+			if in.Imm < 0 || int(in.Imm) >= n {
+				return fmt.Errorf("%s: pc %d: target %d out of range", p.Name, pc, in.Imm)
+			}
+		}
+		if in.Rd >= 32 || in.Rs >= 32 || in.Rt >= 32 {
+			return fmt.Errorf("%s: pc %d: register out of range", p.Name, pc)
+		}
+	}
+	prev := -1
+	for _, f := range p.Funcs {
+		if f.Start <= prev {
+			return fmt.Errorf("%s: function %s overlaps previous", p.Name, f.Name)
+		}
+		if f.End <= f.Start || f.End > n {
+			return fmt.Errorf("%s: function %s has bad range [%d,%d)", p.Name, f.Name, f.Start, f.End)
+		}
+		prev = f.End - 1
+	}
+	for i, m := range p.Marks {
+		if m < 0 || m >= n || p.Code[m].Op != MARK {
+			return fmt.Errorf("%s: mark %d does not point at a MARK", p.Name, i)
+		}
+		if int(p.Code[m].Imm) != i {
+			return fmt.Errorf("%s: MARK at pc %d has index %d, want %d", p.Name, m, p.Code[m].Imm, i)
+		}
+		if i > 0 && m <= p.Marks[i-1] {
+			return fmt.Errorf("%s: marks out of order at %d", p.Name, i)
+		}
+	}
+	for pc, bound := range p.LoopBounds {
+		if pc < 0 || pc >= n {
+			return fmt.Errorf("%s: loop bound at invalid pc %d", p.Name, pc)
+		}
+		in := p.Code[pc]
+		if !in.Op.IsCondBranch() && in.Op != J {
+			return fmt.Errorf("%s: loop bound at pc %d is not on a branch", p.Name, pc)
+		}
+		if int(in.Imm) > pc {
+			return fmt.Errorf("%s: loop bound at pc %d is on a forward branch", p.Name, pc)
+		}
+		if bound < 0 {
+			return fmt.Errorf("%s: negative loop bound at pc %d", p.Name, pc)
+		}
+	}
+	return nil
+}

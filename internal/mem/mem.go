@@ -1,0 +1,120 @@
+// Package mem provides the flat byte-addressable data memory shared by the
+// functional executor, plus the memory-mapped device page that hosts the
+// watchdog counter, cycle counter, and frequency registers described in the
+// paper (§2.2, §5.1).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"visa/internal/isa"
+)
+
+const pageBits = 16
+const pageSize = 1 << pageBits
+
+// Device receives loads and stores addressed at or above isa.MMIOBase. The
+// VISA run-time framework implements it to expose the watchdog and cycle
+// counters to task code.
+type Device interface {
+	MMIORead(addr uint32) uint32
+	MMIOWrite(addr uint32, v uint32)
+}
+
+// Memory is a sparse paged byte-addressable memory, little-endian.
+type Memory struct {
+	pages map[uint32][]byte
+	dev   Device
+}
+
+// New returns an empty memory with no device attached.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32][]byte)}
+}
+
+// AttachDevice routes MMIO-page accesses to dev.
+func (m *Memory) AttachDevice(dev Device) { m.dev = dev }
+
+// Reset drops all contents (the device is kept).
+func (m *Memory) Reset() { m.pages = make(map[uint32][]byte) }
+
+// LoadImage copies data into memory starting at base.
+func (m *Memory) LoadImage(base uint32, data []byte) {
+	for i, b := range data {
+		m.page(base + uint32(i))[int(base+uint32(i))&(pageSize-1)] = b
+	}
+}
+
+func (m *Memory) page(addr uint32) []byte {
+	key := addr >> pageBits
+	p, ok := m.pages[key]
+	if !ok {
+		p = make([]byte, pageSize)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// AlignmentError reports a misaligned access.
+type AlignmentError struct {
+	Addr uint32
+	Size int
+}
+
+func (e *AlignmentError) Error() string {
+	return fmt.Sprintf("misaligned %d-byte access at %#x", e.Size, e.Addr)
+}
+
+func (m *Memory) isMMIO(addr uint32) bool { return addr >= isa.MMIOBase && m.dev != nil }
+
+// ReadWord reads a 32-bit little-endian word.
+func (m *Memory) ReadWord(addr uint32) (uint32, error) {
+	if addr%4 != 0 {
+		return 0, &AlignmentError{addr, 4}
+	}
+	if m.isMMIO(addr) {
+		return m.dev.MMIORead(addr), nil
+	}
+	p := m.page(addr)
+	off := int(addr) & (pageSize - 1)
+	return binary.LittleEndian.Uint32(p[off : off+4]), nil
+}
+
+// WriteWord writes a 32-bit little-endian word.
+func (m *Memory) WriteWord(addr uint32, v uint32) error {
+	if addr%4 != 0 {
+		return &AlignmentError{addr, 4}
+	}
+	if m.isMMIO(addr) {
+		m.dev.MMIOWrite(addr, v)
+		return nil
+	}
+	p := m.page(addr)
+	off := int(addr) & (pageSize - 1)
+	binary.LittleEndian.PutUint32(p[off:off+4], v)
+	return nil
+}
+
+// ReadDouble reads a float64. The address must be 8-byte aligned, which also
+// guarantees it does not straddle a page.
+func (m *Memory) ReadDouble(addr uint32) (float64, error) {
+	if addr%8 != 0 {
+		return 0, &AlignmentError{addr, 8}
+	}
+	p := m.page(addr)
+	off := int(addr) & (pageSize - 1)
+	return math.Float64frombits(binary.LittleEndian.Uint64(p[off : off+8])), nil
+}
+
+// WriteDouble writes a float64 at an 8-byte-aligned address.
+func (m *Memory) WriteDouble(addr uint32, v float64) error {
+	if addr%8 != 0 {
+		return &AlignmentError{addr, 8}
+	}
+	p := m.page(addr)
+	off := int(addr) & (pageSize - 1)
+	binary.LittleEndian.PutUint64(p[off:off+8], math.Float64bits(v))
+	return nil
+}

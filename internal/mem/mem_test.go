@@ -1,0 +1,119 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"visa/internal/isa"
+)
+
+func TestWordRoundTrip(t *testing.T) {
+	m := New()
+	f := func(addrSeed uint16, v uint32) bool {
+		addr := uint32(addrSeed) * 4
+		if err := m.WriteWord(addr, v); err != nil {
+			return false
+		}
+		got, err := m.ReadWord(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleRoundTrip(t *testing.T) {
+	m := New()
+	f := func(addrSeed uint16, v float64) bool {
+		addr := uint32(addrSeed) * 8
+		if err := m.WriteDouble(addr, v); err != nil {
+			return false
+		}
+		got, err := m.ReadDouble(addr)
+		if err != nil {
+			return false
+		}
+		return got == v || math.IsNaN(got) && math.IsNaN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignmentFaults(t *testing.T) {
+	m := New()
+	if _, err := m.ReadWord(2); err == nil {
+		t.Error("misaligned word read accepted")
+	}
+	if err := m.WriteWord(3, 1); err == nil {
+		t.Error("misaligned word write accepted")
+	}
+	if _, err := m.ReadDouble(4); err == nil {
+		t.Error("misaligned double read accepted")
+	}
+	if err := m.WriteDouble(12, 1); err == nil {
+		t.Error("misaligned double write accepted")
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	// Adjacent words straddling a 64KB page boundary.
+	base := uint32(1<<16) - 4
+	if err := m.WriteWord(base, 0xAABBCCDD); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteWord(base+4, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.ReadWord(base)
+	b, _ := m.ReadWord(base + 4)
+	if a != 0xAABBCCDD || b != 0x11223344 {
+		t.Errorf("cross-page words: %#x %#x", a, b)
+	}
+}
+
+func TestLoadImageAndReset(t *testing.T) {
+	m := New()
+	m.LoadImage(isa.DataBase, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	v, _ := m.ReadWord(isa.DataBase)
+	if v != 0x04030201 {
+		t.Errorf("image word = %#x", v)
+	}
+	m.Reset()
+	v, _ = m.ReadWord(isa.DataBase)
+	if v != 0 {
+		t.Error("reset did not clear memory")
+	}
+}
+
+type fakeDev struct {
+	lastWrite uint32
+	lastVal   uint32
+}
+
+func (d *fakeDev) MMIORead(addr uint32) uint32     { return addr & 0xFF }
+func (d *fakeDev) MMIOWrite(addr uint32, v uint32) { d.lastWrite, d.lastVal = addr, v }
+
+func TestMMIORouting(t *testing.T) {
+	m := New()
+	dev := &fakeDev{}
+	m.AttachDevice(dev)
+	if v, _ := m.ReadWord(isa.MMIOWatchdog); v != isa.MMIOWatchdog&0xFF {
+		t.Errorf("MMIO read routed wrong: %#x", v)
+	}
+	if err := m.WriteWord(isa.MMIOCycle, 77); err != nil {
+		t.Fatal(err)
+	}
+	if dev.lastWrite != isa.MMIOCycle || dev.lastVal != 77 {
+		t.Error("MMIO write not delivered")
+	}
+	// Below the MMIO base, plain memory.
+	if err := m.WriteWord(isa.DataBase, 5); err != nil {
+		t.Fatal(err)
+	}
+	if dev.lastVal == 5 {
+		t.Error("regular write leaked to device")
+	}
+}

@@ -1,0 +1,77 @@
+// Package memsys models the memory system behind the L1 caches. The paper's
+// Table 1 gives the VISA a worst-case memory stall time of 100 ns; it is
+// specified in nanoseconds because the equivalent cycle count depends on the
+// processor frequency. On the complex processor, multiple outstanding
+// requests contend and a miss can exceed 100 ns (§3.2); in simple mode only
+// one request is outstanding, so the VISA bound holds by construction.
+package memsys
+
+// Config describes memory-system timing.
+type Config struct {
+	// WorstLatNs is the worst-case latency of one memory request with no
+	// contention (Table 1: 100 ns).
+	WorstLatNs float64
+	// GapNs is the minimum spacing between consecutive request services on
+	// the single memory channel; it creates contention delay when the
+	// complex core has several misses in flight.
+	GapNs float64
+}
+
+// Default is the paper's memory system: 100 ns worst-case stall, with a
+// 30 ns service gap for back-to-back requests on the complex core.
+var Default = Config{WorstLatNs: 100, GapNs: 30}
+
+// Bus is the single memory channel. It operates in the cycle domain of the
+// current core frequency; SetFreq rescales pending state, which is safe at
+// the only point frequency changes (after a pipeline drain, when the bus is
+// idle).
+type Bus struct {
+	cfg      Config
+	fMHz     int
+	latCyc   int64
+	gapCyc   int64
+	nextFree int64
+}
+
+// NewBus creates a bus at the given core frequency in MHz.
+func NewBus(cfg Config, fMHz int) *Bus {
+	b := &Bus{cfg: cfg}
+	b.SetFreq(fMHz)
+	return b
+}
+
+// CyclesForNs converts a duration to cycles at f MHz, rounding up (the
+// conservative direction the analyzer also uses).
+func CyclesForNs(ns float64, fMHz int) int64 {
+	c := int64(ns * float64(fMHz) / 1000)
+	if float64(c)*1000 < ns*float64(fMHz) {
+		c++
+	}
+	return c
+}
+
+// SetFreq switches the cycle domain to f MHz and clears in-flight state.
+func (b *Bus) SetFreq(fMHz int) {
+	b.fMHz = fMHz
+	b.latCyc = CyclesForNs(b.cfg.WorstLatNs, fMHz)
+	b.gapCyc = CyclesForNs(b.cfg.GapNs, fMHz)
+	b.nextFree = 0
+}
+
+// Latency returns the no-contention miss penalty in cycles at the current
+// frequency. This is the exact penalty in simple/blocking operation.
+func (b *Bus) Latency() int64 { return b.latCyc }
+
+// Request issues a memory request at cycle now and returns the cycle its
+// data is available, including any contention queueing delay.
+func (b *Bus) Request(now int64) int64 {
+	start := now
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	b.nextFree = start + b.gapCyc
+	return start + b.latCyc
+}
+
+// Reset clears in-flight state (e.g., at task boundaries).
+func (b *Bus) Reset() { b.nextFree = 0 }

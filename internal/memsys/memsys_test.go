@@ -1,0 +1,69 @@
+package memsys
+
+import "testing"
+
+func TestCyclesForNs(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		mhz  int
+		want int64
+	}{
+		{100, 1000, 100},
+		{100, 100, 10},
+		{100, 250, 25},
+		{100, 375, 38}, // 37.5 rounds up (conservative)
+		{30, 1000, 30},
+		{0, 500, 0},
+	}
+	for _, c := range cases {
+		if got := CyclesForNs(c.ns, c.mhz); got != c.want {
+			t.Errorf("CyclesForNs(%v, %d) = %d, want %d", c.ns, c.mhz, got, c.want)
+		}
+	}
+}
+
+func TestLatencyScalesWithFrequency(t *testing.T) {
+	b := NewBus(Default, 1000)
+	if b.Latency() != 100 {
+		t.Errorf("latency at 1GHz = %d, want 100", b.Latency())
+	}
+	b.SetFreq(100)
+	if b.Latency() != 10 {
+		t.Errorf("latency at 100MHz = %d, want 10", b.Latency())
+	}
+}
+
+func TestContentionQueueing(t *testing.T) {
+	b := NewBus(Default, 1000) // lat 100, gap 30
+	d1 := b.Request(0)
+	d2 := b.Request(0)
+	d3 := b.Request(0)
+	if d1 != 100 {
+		t.Errorf("first fill = %d, want 100", d1)
+	}
+	if d2 != 130 || d3 != 160 {
+		t.Errorf("queued fills = %d,%d want 130,160 (30-cycle service gap)", d2, d3)
+	}
+	// A later isolated request sees no residual queueing.
+	if d := b.Request(1000); d != 1100 {
+		t.Errorf("isolated fill = %d, want 1100", d)
+	}
+}
+
+func TestResetClearsQueue(t *testing.T) {
+	b := NewBus(Default, 1000)
+	b.Request(0)
+	b.Reset()
+	if d := b.Request(0); d != 100 {
+		t.Errorf("post-reset fill = %d, want 100", d)
+	}
+}
+
+func TestSetFreqClearsInFlight(t *testing.T) {
+	b := NewBus(Default, 500)
+	b.Request(0)
+	b.SetFreq(500)
+	if d := b.Request(0); d != 50 {
+		t.Errorf("fill after SetFreq = %d, want 50", d)
+	}
+}

@@ -1,0 +1,164 @@
+package minic
+
+// Type is a mini-C type.
+type Type int
+
+// Types. Arrays are described by VarDecl dimensions, not by Type.
+const (
+	TypeVoid Type = iota
+	TypeInt
+	TypeFloat
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	default:
+		return "void"
+	}
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Name    string
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a global or local variable. Dims is empty for scalars;
+// globals may have one or two dimensions. Init is an optional constant
+// initializer for global scalars.
+type VarDecl struct {
+	Name string
+	Type Type
+	Dims []int
+	Init *Expr // constant expression or nil
+	Line int
+
+	// filled by the checker/codegen
+	isGlobal bool
+	frameOff int32 // fp-relative offset for locals and params
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Ret    Type
+	Params []*VarDecl
+	Body   *Block
+	Line   int
+
+	frameSize int32 // local/param slot bytes, set by the checker
+}
+
+// Block is a { } statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares a local scalar, optionally initialized.
+type DeclStmt struct {
+	Decl *VarDecl
+	Init *Expr
+	Line int
+}
+
+// AssignStmt stores Value into Target (variable or array element).
+type AssignStmt struct {
+	Target *Expr // ExprVar or ExprIndex
+	Value  *Expr
+	Line   int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond *Expr
+	Then *Block
+	Else *Block // may be nil
+	Line int
+}
+
+// WhileStmt is a while loop. Bound is the annotated iteration bound, or -1.
+type WhileStmt struct {
+	Cond  *Expr
+	Body  *Block
+	Bound int
+	Line  int
+}
+
+// ForStmt is a for loop. Init/Post may be nil. Bound is the annotated or
+// derived iteration bound, or -1 (an error for loops the checker cannot
+// bound: the static timing analyzer requires bounds on every loop).
+type ForStmt struct {
+	Init  Stmt // DeclStmt or AssignStmt or nil
+	Cond  *Expr
+	Post  Stmt // AssignStmt or nil
+	Body  *Block
+	Bound int
+	Line  int
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	Value *Expr // nil for void
+	Line  int
+}
+
+// ExprStmt evaluates an expression for effect (calls, __subtask, __out).
+type ExprStmt struct {
+	X    *Expr
+	Line int
+}
+
+// BlockStmt nests a block.
+type BlockStmt struct{ Body *Block }
+
+func (*DeclStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+func (*BlockStmt) stmtNode()  {}
+
+// ExprKind discriminates expression nodes.
+type ExprKind int
+
+// Expression kinds.
+const (
+	ExprIntLit ExprKind = iota
+	ExprFloatLit
+	ExprVar
+	ExprIndex  // base[Idx...] — one or two indexes
+	ExprUnary  // Op: - ! ~
+	ExprBinary // Op: + - * / % << >> & | ^ == != < <= > >= && ||
+	ExprCall
+	ExprCast // implicit conversion inserted by the checker
+)
+
+// Expr is an expression node. The checker fills Type.
+type Expr struct {
+	Kind ExprKind
+	Line int
+
+	Ival int64
+	Fval float64
+
+	Name string   // ExprVar, ExprCall
+	Decl *VarDecl // resolved by the checker for ExprVar/ExprIndex
+
+	Op   string
+	X, Y *Expr   // unary/binary operands; cast operand in X
+	Idx  []*Expr // ExprIndex
+	Args []*Expr // ExprCall
+
+	Type Type
+	Fn   *FuncDecl // resolved callee for ExprCall (nil for intrinsics)
+}

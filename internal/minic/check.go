@@ -1,0 +1,454 @@
+package minic
+
+import "fmt"
+
+// checker resolves names, computes expression types, inserts implicit
+// conversions, lays out stack frames, and derives loop bounds for counted
+// for-loops. Every loop must end up with a bound: the static timing
+// analyzer cannot produce a WCET otherwise, mirroring the paper's toolset
+// which takes loop bounds as input (Figure 1).
+type checker struct {
+	file    string
+	globals map[string]*VarDecl
+	funcs   map[string]*FuncDecl
+	scopes  []map[string]*VarDecl
+	fn      *FuncDecl
+	nextOff int32
+	marks   []int
+}
+
+// Check validates the file and annotates the AST in place.
+func Check(f *File) error {
+	c := &checker{
+		file:    f.Name,
+		globals: map[string]*VarDecl{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	for _, g := range f.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return c.errf(g.Line, "duplicate global %s", g.Name)
+		}
+		g.isGlobal = true
+		if g.Init != nil {
+			if err := c.checkExpr(g.Init); err != nil {
+				return err
+			}
+			if !isConst(g.Init) {
+				return c.errf(g.Line, "global initializer for %s must be a constant", g.Name)
+			}
+		}
+		c.globals[g.Name] = g
+	}
+	for _, fn := range f.Funcs {
+		if _, dup := c.funcs[fn.Name]; dup {
+			return c.errf(fn.Line, "duplicate function %s", fn.Name)
+		}
+		if len(fn.Params) > 4 {
+			return c.errf(fn.Line, "%s: at most 4 parameters supported", fn.Name)
+		}
+		c.funcs[fn.Name] = fn
+	}
+	main, ok := c.funcs["main"]
+	if !ok {
+		return c.errf(1, "missing function main")
+	}
+	if main.Ret != TypeVoid || len(main.Params) != 0 {
+		return c.errf(main.Line, "main must be void main()")
+	}
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	for i, m := range c.marks {
+		if m != i {
+			return c.errf(1, "__subtask indexes must be sequential from 0; found %d at position %d", m, i)
+		}
+	}
+	return nil
+}
+
+func (c *checker) errf(line int, format string, args ...any) error {
+	return &Error{c.file, line, 0, fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	c.nextOff = 0
+	c.scopes = []map[string]*VarDecl{{}}
+	for _, p := range fn.Params {
+		if err := c.declare(p); err != nil {
+			return err
+		}
+	}
+	if err := c.checkBlock(fn.Body); err != nil {
+		return err
+	}
+	fn.frameSize = c.nextOff
+	return nil
+}
+
+func (c *checker) declare(d *VarDecl) error {
+	scope := c.scopes[len(c.scopes)-1]
+	if _, dup := scope[d.Name]; dup {
+		return c.errf(d.Line, "duplicate declaration of %s", d.Name)
+	}
+	// Every slot is 8 bytes so float locals stay 8-byte aligned.
+	c.nextOff += 8
+	d.frameOff = -c.nextOff
+	scope[d.Name] = d
+	return nil
+}
+
+func (c *checker) lookup(name string) *VarDecl {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if d, ok := c.scopes[i][name]; ok {
+			return d
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.scopes = append(c.scopes, map[string]*VarDecl{})
+	defer func() { c.scopes = c.scopes[:len(c.scopes)-1] }()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// coerce wraps e in a cast to want if needed. void never coerces.
+func (c *checker) coerce(e *Expr, want Type, line int, what string) (*Expr, error) {
+	if e.Type == want {
+		return e, nil
+	}
+	if e.Type == TypeVoid || want == TypeVoid {
+		return nil, c.errf(line, "%s: cannot use %s value", what, e.Type)
+	}
+	return &Expr{Kind: ExprCast, X: e, Type: want, Line: e.Line}, nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			if err := c.checkExpr(st.Init); err != nil {
+				return err
+			}
+			v, err := c.coerce(st.Init, st.Decl.Type, st.Line, "initializer")
+			if err != nil {
+				return err
+			}
+			st.Init = v
+		}
+		return c.declare(st.Decl)
+	case *AssignStmt:
+		if err := c.checkExpr(st.Target); err != nil {
+			return err
+		}
+		if st.Target.Kind == ExprVar && len(st.Target.Decl.Dims) > 0 {
+			return c.errf(st.Line, "cannot assign to array %s", st.Target.Name)
+		}
+		if err := c.checkExpr(st.Value); err != nil {
+			return err
+		}
+		v, err := c.coerce(st.Value, st.Target.Type, st.Line, "assignment")
+		if err != nil {
+			return err
+		}
+		st.Value = v
+		return nil
+	case *IfStmt:
+		if err := c.checkCond(st.Cond, st.Line); err != nil {
+			return err
+		}
+		if err := c.checkBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkBlock(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if st.Bound < 0 {
+			return c.errf(st.Line, "while loop needs a __bound(n) annotation for WCET analysis")
+		}
+		if err := c.checkCond(st.Cond, st.Line); err != nil {
+			return err
+		}
+		return c.checkBlock(st.Body)
+	case *ForStmt:
+		c.scopes = append(c.scopes, map[string]*VarDecl{})
+		defer func() { c.scopes = c.scopes[:len(c.scopes)-1] }()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond == nil {
+			return c.errf(st.Line, "for loop needs a condition (no infinite loops in hard real-time code)")
+		}
+		if err := c.checkCond(st.Cond, st.Line); err != nil {
+			return err
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		if st.Bound < 0 {
+			b, ok := deriveBound(st)
+			if !ok {
+				return c.errf(st.Line, "cannot derive loop bound; use for __bound(n) (...)")
+			}
+			st.Bound = b
+		}
+		return c.checkBlock(st.Body)
+	case *ReturnStmt:
+		if c.fn.Ret == TypeVoid {
+			if st.Value != nil {
+				return c.errf(st.Line, "void function %s returns a value", c.fn.Name)
+			}
+			return nil
+		}
+		if st.Value == nil {
+			return c.errf(st.Line, "%s must return %s", c.fn.Name, c.fn.Ret)
+		}
+		if err := c.checkExpr(st.Value); err != nil {
+			return err
+		}
+		v, err := c.coerce(st.Value, c.fn.Ret, st.Line, "return")
+		if err != nil {
+			return err
+		}
+		st.Value = v
+		return nil
+	case *ExprStmt:
+		return c.checkExpr(st.X)
+	case *BlockStmt:
+		return c.checkBlock(st.Body)
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+func (c *checker) checkCond(e *Expr, line int) error {
+	if err := c.checkExpr(e); err != nil {
+		return err
+	}
+	if e.Type != TypeInt {
+		return c.errf(line, "condition must be int, found %s", e.Type)
+	}
+	return nil
+}
+
+func (c *checker) checkExpr(e *Expr) error {
+	switch e.Kind {
+	case ExprIntLit:
+		e.Type = TypeInt
+	case ExprFloatLit:
+		e.Type = TypeFloat
+	case ExprVar:
+		d := c.lookup(e.Name)
+		if d == nil {
+			return c.errf(e.Line, "undefined variable %s", e.Name)
+		}
+		e.Decl = d
+		e.Type = d.Type
+	case ExprIndex:
+		d := c.lookup(e.Name)
+		if d == nil {
+			return c.errf(e.Line, "undefined variable %s", e.Name)
+		}
+		if len(d.Dims) != len(e.Idx) {
+			return c.errf(e.Line, "%s has %d dimensions, indexed with %d", e.Name, len(d.Dims), len(e.Idx))
+		}
+		for i, idx := range e.Idx {
+			if err := c.checkExpr(idx); err != nil {
+				return err
+			}
+			if idx.Type != TypeInt {
+				return c.errf(e.Line, "index %d of %s must be int", i, e.Name)
+			}
+		}
+		e.Decl = d
+		e.Type = d.Type
+	case ExprUnary:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		switch e.Op {
+		case "-":
+			if e.X.Type == TypeVoid {
+				return c.errf(e.Line, "cannot negate void")
+			}
+			e.Type = e.X.Type
+		case "!", "~":
+			if e.X.Type != TypeInt {
+				return c.errf(e.Line, "operator %s needs an int operand", e.Op)
+			}
+			e.Type = TypeInt
+		}
+	case ExprBinary:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		if err := c.checkExpr(e.Y); err != nil {
+			return err
+		}
+		if e.X.Type == TypeVoid || e.Y.Type == TypeVoid {
+			return c.errf(e.Line, "cannot use void value in expression")
+		}
+		switch e.Op {
+		case "%", "<<", ">>", "&", "|", "^", "&&", "||":
+			if e.X.Type != TypeInt || e.Y.Type != TypeInt {
+				return c.errf(e.Line, "operator %s needs int operands", e.Op)
+			}
+			e.Type = TypeInt
+		case "==", "!=", "<", "<=", ">", ">=":
+			if err := c.promote(e); err != nil {
+				return err
+			}
+			e.Type = TypeInt
+		default: // + - * /
+			if err := c.promote(e); err != nil {
+				return err
+			}
+			e.Type = e.X.Type
+		}
+	case ExprCall:
+		return c.checkCall(e)
+	case ExprCast:
+		return c.checkExpr(e.X)
+	}
+	return nil
+}
+
+// promote converts mixed int/float operands to float.
+func (c *checker) promote(e *Expr) error {
+	if e.X.Type == e.Y.Type {
+		return nil
+	}
+	var err error
+	if e.X.Type == TypeInt {
+		e.X, err = c.coerce(e.X, TypeFloat, e.Line, "operand")
+	} else {
+		e.Y, err = c.coerce(e.Y, TypeFloat, e.Line, "operand")
+	}
+	return err
+}
+
+func (c *checker) checkCall(e *Expr) error {
+	switch e.Name {
+	case "__subtask":
+		if len(e.Args) != 1 || e.Args[0].Kind != ExprIntLit {
+			return c.errf(e.Line, "__subtask needs one integer literal")
+		}
+		e.Args[0].Type = TypeInt
+		c.marks = append(c.marks, int(e.Args[0].Ival))
+		e.Type = TypeVoid
+		return nil
+	case "__out":
+		if len(e.Args) != 1 {
+			return c.errf(e.Line, "__out needs one argument")
+		}
+		if err := c.checkExpr(e.Args[0]); err != nil {
+			return err
+		}
+		if e.Args[0].Type == TypeVoid {
+			return c.errf(e.Line, "__out cannot take void")
+		}
+		e.Type = TypeVoid
+		return nil
+	}
+	fn, ok := c.funcs[e.Name]
+	if !ok {
+		return c.errf(e.Line, "undefined function %s", e.Name)
+	}
+	if len(e.Args) != len(fn.Params) {
+		return c.errf(e.Line, "%s needs %d arguments, got %d", e.Name, len(fn.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		if err := c.checkExpr(a); err != nil {
+			return err
+		}
+		v, err := c.coerce(a, fn.Params[i].Type, e.Line, "argument")
+		if err != nil {
+			return err
+		}
+		e.Args[i] = v
+	}
+	e.Fn = fn
+	e.Type = fn.Ret
+	return nil
+}
+
+func isConst(e *Expr) bool {
+	return e.Kind == ExprIntLit || e.Kind == ExprFloatLit ||
+		e.Kind == ExprUnary && e.Op == "-" && isConst(e.X)
+}
+
+// deriveBound recognizes counted loops of the forms
+//
+//	for (i = c0; i < c1; i = i + s)   and <=, and
+//	for (i = c0; i > c1; i = i - s)   and >=,
+//
+// with integer-literal c0, c1, s (s > 0), where the induction variable is a
+// scalar int. The bound is the number of times the back edge is taken.
+// Loops that modify the induction variable in the body are the programmer's
+// responsibility, exactly as hand-supplied bounds are in the paper's
+// toolchain; the repository's WCET-safety tests would expose a violation.
+func deriveBound(st *ForStmt) (int, bool) {
+	init, ok := st.Init.(*AssignStmt)
+	if !ok || init.Target.Kind != ExprVar || init.Value.Kind != ExprIntLit {
+		return 0, false
+	}
+	name := init.Target.Name
+	c0 := init.Value.Ival
+
+	cond := st.Cond
+	if cond.Kind != ExprBinary || cond.X.Kind != ExprVar || cond.X.Name != name || cond.Y.Kind != ExprIntLit {
+		return 0, false
+	}
+	c1 := cond.Y.Ival
+
+	post, ok := st.Post.(*AssignStmt)
+	if !ok || post.Target.Kind != ExprVar || post.Target.Name != name {
+		return 0, false
+	}
+	pv := post.Value
+	if pv.Kind != ExprBinary || pv.X.Kind != ExprVar || pv.X.Name != name || pv.Y.Kind != ExprIntLit {
+		return 0, false
+	}
+	s := pv.Y.Ival
+	if s <= 0 {
+		return 0, false
+	}
+
+	var iters int64
+	switch {
+	case cond.Op == "<" && pv.Op == "+":
+		iters = ceilDiv(c1-c0, s)
+	case cond.Op == "<=" && pv.Op == "+":
+		iters = ceilDiv(c1-c0+1, s)
+	case cond.Op == ">" && pv.Op == "-":
+		iters = ceilDiv(c0-c1, s)
+	case cond.Op == ">=" && pv.Op == "-":
+		iters = ceilDiv(c0-c1+1, s)
+	default:
+		return 0, false
+	}
+	if iters < 0 {
+		iters = 0
+	}
+	return int(iters), true
+}
+
+func ceilDiv(a, b int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

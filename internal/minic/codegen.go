@@ -1,0 +1,714 @@
+package minic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Integer temporaries available to expression evaluation (caller-saved).
+var intTemps = []uint8{8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25}
+
+// FP temporaries.
+var fpTemps = []uint8{6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}
+
+const (
+	regRV   = 2
+	regArg0 = 4
+	regSP   = 29
+	regFP   = 30
+	fregRV  = 0
+	fregArg = 2
+)
+
+type codegen struct {
+	b        strings.Builder
+	file     *File
+	fn       *FuncDecl
+	label    int
+	intFree  []uint8
+	fpFree   []uint8
+	intInUse map[uint8]bool
+	fpInUse  map[uint8]bool
+	fconsts  map[float64]string
+	errs     []error
+}
+
+// Generate emits assembler source for a checked file.
+func Generate(f *File) (string, error) {
+	g := &codegen{
+		file:     f,
+		intInUse: map[uint8]bool{},
+		fpInUse:  map[uint8]bool{},
+		fconsts:  map[float64]string{},
+	}
+
+	// Code first: main, then the rest in declaration order.
+	g.emit(".text")
+	var ordered []*FuncDecl
+	for _, fn := range f.Funcs {
+		if fn.Name == "main" {
+			ordered = append(ordered, fn)
+		}
+	}
+	for _, fn := range f.Funcs {
+		if fn.Name != "main" {
+			ordered = append(ordered, fn)
+		}
+	}
+	for _, fn := range ordered {
+		g.genFunc(fn)
+	}
+
+	// Data: globals, then the pooled float constants.
+	g.emit(".data")
+	for _, d := range f.Globals {
+		switch {
+		case len(d.Dims) > 0:
+			size := 4
+			if d.Type == TypeFloat {
+				size = 8
+				g.emit("%s: .double %v", d.Name+"_align", 0.0) // force 8-byte alignment
+			}
+			n := d.Dims[0]
+			if len(d.Dims) == 2 {
+				n *= d.Dims[1]
+			}
+			g.emit("%s: .space %d", g.glabel(d.Name), n*size)
+		case d.Type == TypeFloat:
+			v := 0.0
+			if d.Init != nil {
+				v = constFloat(d.Init)
+			}
+			g.emit("%s: .double %v", g.glabel(d.Name), v)
+		default:
+			v := int64(0)
+			if d.Init != nil {
+				v = constInt(d.Init)
+			}
+			g.emit("%s: .word %d", g.glabel(d.Name), v)
+		}
+	}
+	// Deterministic constant-pool order.
+	consts := make([]float64, 0, len(g.fconsts))
+	for v := range g.fconsts {
+		consts = append(consts, v)
+	}
+	sort.Float64s(consts)
+	for _, v := range consts {
+		g.emit("%s: .double %v", g.fconsts[v], v)
+	}
+
+	if len(g.errs) > 0 {
+		return "", g.errs[0]
+	}
+	return g.b.String(), nil
+}
+
+func (g *codegen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *codegen) errf(line int, format string, args ...any) {
+	g.errs = append(g.errs, &Error{g.file.Name, line, 0, fmt.Sprintf(format, args...)})
+}
+
+// glabel names a global's data label (prefixed to avoid clashing with
+// function labels).
+func (g *codegen) glabel(name string) string { return "g_" + name }
+
+func (g *codegen) newLabel() string {
+	g.label++
+	return fmt.Sprintf(".L%s_%d", g.fn.Name, g.label)
+}
+
+// --- register allocation ---
+
+func (g *codegen) allocInt(line int) uint8 {
+	if len(g.intFree) == 0 {
+		g.errf(line, "expression too complex: out of integer temporaries")
+		return intTemps[0]
+	}
+	r := g.intFree[len(g.intFree)-1]
+	g.intFree = g.intFree[:len(g.intFree)-1]
+	g.intInUse[r] = true
+	return r
+}
+
+func (g *codegen) allocFP(line int) uint8 {
+	if len(g.fpFree) == 0 {
+		g.errf(line, "expression too complex: out of FP temporaries")
+		return fpTemps[0]
+	}
+	r := g.fpFree[len(g.fpFree)-1]
+	g.fpFree = g.fpFree[:len(g.fpFree)-1]
+	g.fpInUse[r] = true
+	return r
+}
+
+func (g *codegen) freeInt(r uint8) {
+	if g.intInUse[r] {
+		delete(g.intInUse, r)
+		g.intFree = append(g.intFree, r)
+	}
+}
+
+func (g *codegen) freeFP(r uint8) {
+	if g.fpInUse[r] {
+		delete(g.fpInUse, r)
+		g.fpFree = append(g.fpFree, r)
+	}
+}
+
+// value is an expression result held in a register.
+type value struct {
+	reg  uint8
+	isFP bool
+}
+
+func (g *codegen) free(v value) {
+	if v.isFP {
+		g.freeFP(v.reg)
+	} else {
+		g.freeInt(v.reg)
+	}
+}
+
+// --- functions ---
+
+func (g *codegen) genFunc(fn *FuncDecl) {
+	g.fn = fn
+	g.intFree = append(g.intFree[:0], intTemps...)
+	g.fpFree = append(g.fpFree[:0], fpTemps...)
+	clear(g.intInUse)
+	clear(g.fpInUse)
+
+	frame := fn.frameSize + 16 // saved ra + saved fp (8-byte aligned)
+	g.emit(".func %s", fn.Name)
+	g.emit("    addi r%d, r%d, %d", regSP, regSP, -frame)
+	g.emit("    sw r31, 0(r%d)", regSP)
+	g.emit("    sw r%d, 4(r%d)", regFP, regSP)
+	g.emit("    addi r%d, r%d, %d", regFP, regSP, frame)
+
+	// Spill parameters into their frame slots.
+	intArg, fpArg := regArg0, fregArg
+	for _, p := range fn.Params {
+		if p.Type == TypeFloat {
+			g.emit("    sd f%d, %d(r%d)", fpArg, p.frameOff, regFP)
+			fpArg++
+		} else {
+			g.emit("    sw r%d, %d(r%d)", intArg, p.frameOff, regFP)
+			intArg++
+		}
+	}
+
+	g.genBlock(fn.Body)
+
+	g.emit("%s:", g.retLabel())
+	g.emit("    lw r31, 0(r%d)", regSP)
+	g.emit("    lw r%d, 4(r%d)", regFP, regSP)
+	g.emit("    addi r%d, r%d, %d", regSP, regSP, frame)
+	if fn.Name == "main" {
+		g.emit("    halt")
+	} else {
+		g.emit("    ret")
+	}
+	g.emit(".endfunc")
+}
+
+func (g *codegen) retLabel() string { return ".Lret_" + g.fn.Name }
+
+// --- statements ---
+
+func (g *codegen) genBlock(b *Block) {
+	for _, s := range b.Stmts {
+		g.genStmt(s)
+	}
+}
+
+func (g *codegen) genStmt(s Stmt) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			v := g.genExpr(st.Init)
+			g.storeLocal(st.Decl, v)
+			g.free(v)
+		}
+	case *AssignStmt:
+		g.genAssign(st)
+	case *IfStmt:
+		elseL := g.newLabel()
+		g.genCondFalse(st.Cond, elseL)
+		g.genBlock(st.Then)
+		if st.Else != nil {
+			endL := g.newLabel()
+			g.emit("    j %s", endL)
+			g.emit("%s:", elseL)
+			g.genBlock(st.Else)
+			g.emit("%s:", endL)
+		} else {
+			g.emit("%s:", elseL)
+		}
+	case *WhileStmt:
+		head, exit := g.newLabel(), g.newLabel()
+		g.emit("%s:", head)
+		g.genCondFalse(st.Cond, exit)
+		g.genBlock(st.Body)
+		g.emit("    j %s #bound %d", head, st.Bound)
+		g.emit("%s:", exit)
+	case *ForStmt:
+		if st.Init != nil {
+			g.genStmt(st.Init)
+		}
+		head, exit := g.newLabel(), g.newLabel()
+		g.emit("%s:", head)
+		g.genCondFalse(st.Cond, exit)
+		g.genBlock(st.Body)
+		if st.Post != nil {
+			g.genStmt(st.Post)
+		}
+		g.emit("    j %s #bound %d", head, st.Bound)
+		g.emit("%s:", exit)
+	case *ReturnStmt:
+		if st.Value != nil {
+			v := g.genExpr(st.Value)
+			if v.isFP {
+				g.emit("    fmov f%d, f%d", fregRV, v.reg)
+			} else {
+				g.emit("    mov r%d, r%d", regRV, v.reg)
+			}
+			g.free(v)
+		}
+		g.emit("    j %s", g.retLabel())
+	case *ExprStmt:
+		v, produced := g.genExprStmt(st.X)
+		if produced {
+			g.free(v)
+		}
+	case *BlockStmt:
+		g.genBlock(st.Body)
+	}
+}
+
+func (g *codegen) genAssign(st *AssignStmt) {
+	if st.Target.Kind == ExprVar {
+		v := g.genExpr(st.Value)
+		d := st.Target.Decl
+		if d.isGlobal {
+			addr := g.allocInt(st.Line)
+			g.emit("    la r%d, %s", addr, g.glabel(d.Name))
+			g.storeTo(addr, 0, d.Type, v)
+			g.freeInt(addr)
+		} else {
+			g.storeLocal(d, v)
+		}
+		g.free(v)
+		return
+	}
+	addr := g.genAddr(st.Target)
+	v := g.genExpr(st.Value)
+	g.storeTo(addr, 0, st.Target.Type, v)
+	g.freeInt(addr)
+	g.free(v)
+}
+
+func (g *codegen) storeLocal(d *VarDecl, v value) {
+	if d.Type == TypeFloat {
+		g.emit("    sd f%d, %d(r%d)", v.reg, d.frameOff, regFP)
+	} else {
+		g.emit("    sw r%d, %d(r%d)", v.reg, d.frameOff, regFP)
+	}
+}
+
+func (g *codegen) storeTo(addr uint8, off int32, t Type, v value) {
+	if t == TypeFloat {
+		g.emit("    sd f%d, %d(r%d)", v.reg, off, addr)
+	} else {
+		g.emit("    sw r%d, %d(r%d)", v.reg, off, addr)
+	}
+}
+
+// genCondFalse emits a branch to label when cond is false, fusing integer
+// comparisons into a single conditional branch (the shape both the static
+// analyzer and the BTFN heuristic expect).
+func (g *codegen) genCondFalse(cond *Expr, label string) {
+	if cond.Kind == ExprBinary && cond.X.Type == TypeInt && cond.Y.Type == TypeInt {
+		switch cond.Op {
+		case "<", "<=", ">", ">=", "==", "!=":
+			x := g.genExpr(cond.X)
+			y := g.genExpr(cond.Y)
+			a, b := x.reg, y.reg
+			switch cond.Op {
+			case "<": // false: a >= b
+				g.emit("    bge r%d, r%d, %s", a, b, label)
+			case "<=": // false: b < a
+				g.emit("    blt r%d, r%d, %s", b, a, label)
+			case ">": // false: a <= b, i.e. b >= a
+				g.emit("    bge r%d, r%d, %s", b, a, label)
+			case ">=": // false: a < b
+				g.emit("    blt r%d, r%d, %s", a, b, label)
+			case "==":
+				g.emit("    bne r%d, r%d, %s", a, b, label)
+			case "!=":
+				g.emit("    beq r%d, r%d, %s", a, b, label)
+			}
+			g.free(x)
+			g.free(y)
+			return
+		}
+	}
+	v := g.genExpr(cond)
+	g.emit("    beq r%d, r0, %s", v.reg, label)
+	g.free(v)
+}
+
+// --- expressions ---
+
+// genExprStmt evaluates an expression for effect. It returns the result
+// value and whether one was produced (void calls produce none).
+func (g *codegen) genExprStmt(e *Expr) (value, bool) {
+	if e.Kind == ExprCall {
+		return g.genCall(e)
+	}
+	return g.genExpr(e), true
+}
+
+func (g *codegen) genExpr(e *Expr) value {
+	switch e.Kind {
+	case ExprIntLit:
+		r := g.allocInt(e.Line)
+		g.emit("    li r%d, %d", r, e.Ival)
+		return value{r, false}
+	case ExprFloatLit:
+		lbl, ok := g.fconsts[e.Fval]
+		if !ok {
+			lbl = fmt.Sprintf("fc_%d", len(g.fconsts))
+			g.fconsts[e.Fval] = lbl
+		}
+		a := g.allocInt(e.Line)
+		g.emit("    la r%d, %s", a, lbl)
+		f := g.allocFP(e.Line)
+		g.emit("    ld f%d, 0(r%d)", f, a)
+		g.freeInt(a)
+		return value{f, true}
+	case ExprVar:
+		d := e.Decl
+		if d.isGlobal {
+			a := g.allocInt(e.Line)
+			g.emit("    la r%d, %s", a, g.glabel(d.Name))
+			v := g.loadFrom(a, 0, d.Type, e.Line)
+			g.freeInt(a)
+			return v
+		}
+		if d.Type == TypeFloat {
+			f := g.allocFP(e.Line)
+			g.emit("    ld f%d, %d(r%d)", f, d.frameOff, regFP)
+			return value{f, true}
+		}
+		r := g.allocInt(e.Line)
+		g.emit("    lw r%d, %d(r%d)", r, d.frameOff, regFP)
+		return value{r, false}
+	case ExprIndex:
+		addr := g.genAddr(e)
+		v := g.loadFrom(addr, 0, e.Type, e.Line)
+		g.freeInt(addr)
+		return v
+	case ExprUnary:
+		return g.genUnary(e)
+	case ExprBinary:
+		return g.genBinary(e)
+	case ExprCast:
+		x := g.genExpr(e.X)
+		if e.Type == TypeFloat {
+			f := g.allocFP(e.Line)
+			g.emit("    cvtif f%d, r%d", f, x.reg)
+			g.free(x)
+			return value{f, true}
+		}
+		r := g.allocInt(e.Line)
+		g.emit("    cvtfi r%d, f%d", r, x.reg)
+		g.free(x)
+		return value{r, false}
+	case ExprCall:
+		v, produced := g.genCall(e)
+		if !produced {
+			g.errf(e.Line, "void call used as a value")
+		}
+		return v
+	}
+	g.errf(e.Line, "cannot generate expression kind %d", e.Kind)
+	return value{}
+}
+
+func (g *codegen) loadFrom(addr uint8, off int32, t Type, line int) value {
+	if t == TypeFloat {
+		f := g.allocFP(line)
+		g.emit("    ld f%d, %d(r%d)", f, off, addr)
+		return value{f, true}
+	}
+	r := g.allocInt(line)
+	g.emit("    lw r%d, %d(r%d)", r, off, addr)
+	return value{r, false}
+}
+
+// genAddr computes the byte address of an array element into an int temp.
+func (g *codegen) genAddr(e *Expr) uint8 {
+	d := e.Decl
+	size := int64(4)
+	if d.Type == TypeFloat {
+		size = 8
+	}
+	idx := g.genExpr(e.Idx[0])
+	if len(e.Idx) == 2 {
+		// linear = i*cols + j
+		cols := g.allocInt(e.Line)
+		g.emit("    li r%d, %d", cols, d.Dims[1])
+		g.emit("    mul r%d, r%d, r%d", idx.reg, idx.reg, cols)
+		g.freeInt(cols)
+		j := g.genExpr(e.Idx[1])
+		g.emit("    add r%d, r%d, r%d", idx.reg, idx.reg, j.reg)
+		g.free(j)
+	}
+	shift := 2
+	if size == 8 {
+		shift = 3
+	}
+	g.emit("    slli r%d, r%d, %d", idx.reg, idx.reg, shift)
+	base := g.allocInt(e.Line)
+	g.emit("    la r%d, %s", base, g.glabel(d.Name))
+	g.emit("    add r%d, r%d, r%d", idx.reg, idx.reg, base)
+	g.freeInt(base)
+	return idx.reg
+}
+
+func (g *codegen) genUnary(e *Expr) value {
+	x := g.genExpr(e.X)
+	switch e.Op {
+	case "-":
+		if x.isFP {
+			g.emit("    fneg f%d, f%d", x.reg, x.reg)
+		} else {
+			r := g.allocInt(e.Line)
+			g.emit("    sub r%d, r0, r%d", r, x.reg)
+			g.free(x)
+			return value{r, false}
+		}
+	case "!":
+		g.emit("    sltu r%d, r0, r%d", x.reg, x.reg)
+		g.emit("    xori r%d, r%d, 1", x.reg, x.reg)
+	case "~":
+		g.emit("    nor r%d, r%d, r0", x.reg, x.reg)
+	}
+	return x
+}
+
+var intBinOps = map[string]string{
+	"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+	"&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra",
+}
+
+var fpBinOps = map[string]string{
+	"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv",
+}
+
+func (g *codegen) genBinary(e *Expr) value {
+	switch e.Op {
+	case "&&", "||":
+		return g.genShortCircuit(e)
+	}
+	x := g.genExpr(e.X)
+	y := g.genExpr(e.Y)
+	if x.isFP {
+		switch e.Op {
+		case "+", "-", "*", "/":
+			g.emit("    %s f%d, f%d, f%d", fpBinOps[e.Op], x.reg, x.reg, y.reg)
+			g.free(y)
+			return x
+		default:
+			r := g.allocInt(e.Line)
+			switch e.Op {
+			case "==":
+				g.emit("    feq r%d, f%d, f%d", r, x.reg, y.reg)
+			case "!=":
+				g.emit("    feq r%d, f%d, f%d", r, x.reg, y.reg)
+				g.emit("    xori r%d, r%d, 1", r, r)
+			case "<":
+				g.emit("    flt r%d, f%d, f%d", r, x.reg, y.reg)
+			case "<=":
+				g.emit("    fle r%d, f%d, f%d", r, x.reg, y.reg)
+			case ">":
+				g.emit("    flt r%d, f%d, f%d", r, y.reg, x.reg)
+			case ">=":
+				g.emit("    fle r%d, f%d, f%d", r, y.reg, x.reg)
+			default:
+				g.errf(e.Line, "operator %s not supported on float", e.Op)
+			}
+			g.free(x)
+			g.free(y)
+			return value{r, false}
+		}
+	}
+	if op, ok := intBinOps[e.Op]; ok {
+		g.emit("    %s r%d, r%d, r%d", op, x.reg, x.reg, y.reg)
+		g.free(y)
+		return x
+	}
+	// Integer comparisons materialized as 0/1.
+	switch e.Op {
+	case "<":
+		g.emit("    slt r%d, r%d, r%d", x.reg, x.reg, y.reg)
+	case ">":
+		g.emit("    slt r%d, r%d, r%d", x.reg, y.reg, x.reg)
+	case "<=":
+		g.emit("    slt r%d, r%d, r%d", x.reg, y.reg, x.reg)
+		g.emit("    xori r%d, r%d, 1", x.reg, x.reg)
+	case ">=":
+		g.emit("    slt r%d, r%d, r%d", x.reg, x.reg, y.reg)
+		g.emit("    xori r%d, r%d, 1", x.reg, x.reg)
+	case "==":
+		g.emit("    xor r%d, r%d, r%d", x.reg, x.reg, y.reg)
+		g.emit("    sltu r%d, r0, r%d", x.reg, x.reg)
+		g.emit("    xori r%d, r%d, 1", x.reg, x.reg)
+	case "!=":
+		g.emit("    xor r%d, r%d, r%d", x.reg, x.reg, y.reg)
+		g.emit("    sltu r%d, r0, r%d", x.reg, x.reg)
+	default:
+		g.errf(e.Line, "operator %s not supported on int", e.Op)
+	}
+	g.free(y)
+	return x
+}
+
+func (g *codegen) genShortCircuit(e *Expr) value {
+	x := g.genExpr(e.X)
+	end := g.newLabel()
+	// Normalize x to 0/1 as the default result.
+	g.emit("    sltu r%d, r0, r%d", x.reg, x.reg)
+	if e.Op == "&&" {
+		g.emit("    beq r%d, r0, %s", x.reg, end)
+	} else {
+		g.emit("    bne r%d, r0, %s", x.reg, end)
+	}
+	y := g.genExpr(e.Y)
+	g.emit("    sltu r%d, r0, r%d", x.reg, y.reg)
+	g.free(y)
+	g.emit("%s:", end)
+	return x
+}
+
+// genCall emits a function call or intrinsic; returns the result value and
+// whether one exists.
+func (g *codegen) genCall(e *Expr) (value, bool) {
+	switch e.Name {
+	case "__subtask":
+		g.emit("    mark %d", e.Args[0].Ival)
+		return value{}, false
+	case "__out":
+		v := g.genExpr(e.Args[0])
+		if v.isFP {
+			g.emit("    outf f%d", v.reg)
+		} else {
+			g.emit("    out r%d", v.reg)
+		}
+		g.free(v)
+		return value{}, false
+	}
+
+	// Save live temporaries across the call (all temps are caller-saved).
+	savedInt := keysSorted(g.intInUse)
+	savedFP := keysSorted(g.fpInUse)
+	saveBytes := int32(len(savedInt))*8 + int32(len(savedFP))*8
+	if saveBytes > 0 {
+		g.emit("    addi r%d, r%d, %d", regSP, regSP, -saveBytes)
+		off := int32(0)
+		for _, r := range savedInt {
+			g.emit("    sw r%d, %d(r%d)", r, off, regSP)
+			off += 8
+		}
+		for _, r := range savedFP {
+			g.emit("    sd f%d, %d(r%d)", r, off, regSP)
+			off += 8
+		}
+	}
+
+	// Evaluate arguments into temps, then move them into the argument
+	// registers in one step (evaluation may itself contain calls).
+	vals := make([]value, len(e.Args))
+	for i, a := range e.Args {
+		vals[i] = g.genExpr(a)
+	}
+	intArg, fpArg := regArg0, fregArg
+	for _, v := range vals {
+		if v.isFP {
+			g.emit("    fmov f%d, f%d", fpArg, v.reg)
+			fpArg++
+		} else {
+			g.emit("    mov r%d, r%d", intArg, v.reg)
+			intArg++
+		}
+		g.free(v)
+	}
+	g.emit("    call %s", e.Name)
+
+	// Capture the result before restoring temps.
+	var res value
+	produced := e.Fn.Ret != TypeVoid
+	if produced {
+		if e.Fn.Ret == TypeFloat {
+			f := g.allocFP(e.Line)
+			g.emit("    fmov f%d, f%d", f, fregRV)
+			res = value{f, true}
+		} else {
+			r := g.allocInt(e.Line)
+			g.emit("    mov r%d, r%d", r, regRV)
+			res = value{r, false}
+		}
+	}
+
+	if saveBytes > 0 {
+		off := int32(0)
+		for _, r := range savedInt {
+			g.emit("    lw r%d, %d(r%d)", r, off, regSP)
+			off += 8
+		}
+		for _, r := range savedFP {
+			g.emit("    ld f%d, %d(r%d)", r, off, regSP)
+			off += 8
+		}
+		g.emit("    addi r%d, r%d, %d", regSP, regSP, saveBytes)
+	}
+	return res, produced
+}
+
+func keysSorted(m map[uint8]bool) []uint8 {
+	out := make([]uint8, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func constInt(e *Expr) int64 {
+	switch e.Kind {
+	case ExprIntLit:
+		return e.Ival
+	case ExprFloatLit:
+		return int64(e.Fval)
+	case ExprUnary:
+		return -constInt(e.X)
+	}
+	return 0
+}
+
+func constFloat(e *Expr) float64 {
+	switch e.Kind {
+	case ExprIntLit:
+		return float64(e.Ival)
+	case ExprFloatLit:
+		return e.Fval
+	case ExprUnary:
+		return -constFloat(e.X)
+	}
+	return 0
+}

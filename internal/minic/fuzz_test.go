@@ -1,0 +1,198 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"visa/internal/exec"
+)
+
+// Differential fuzzing of the expression compiler: random integer
+// expression trees are evaluated both by a reference interpreter in Go
+// (with Go's int32 semantics, which the ISA's executor shares) and by
+// compiling to mini-C and running on the machine. Any divergence is a code
+// generation or executor bug.
+
+type fuzzExpr struct {
+	op   string // "", "lit", "var"
+	lit  int32
+	name string
+	l, r *fuzzExpr
+}
+
+var fuzzVars = map[string]int32{"a": 7, "b": -13, "c": 100000, "d": 3}
+
+func genExpr(r *rand.Rand, depth int) *fuzzExpr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return &fuzzExpr{op: "lit", lit: int32(r.Intn(2001) - 1000)}
+		}
+		names := []string{"a", "b", "c", "d"}
+		return &fuzzExpr{op: "var", name: names[r.Intn(len(names))]}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "/", "%", "<<", ">>", "<", "<=", "==", "!="}
+	op := ops[r.Intn(len(ops))]
+	e := &fuzzExpr{op: op, l: genExpr(r, depth-1)}
+	switch op {
+	case "<<", ">>":
+		// Shift counts are literal 0..15: mini-C masks variable shift
+		// amounts mod 32 while Go zeroes at >=32, so keep them in the
+		// agreed range.
+		e.r = &fuzzExpr{op: "lit", lit: int32(r.Intn(16))}
+	case "/", "%":
+		// Non-zero divisor by construction: (x | 1).
+		e.r = &fuzzExpr{op: "|", l: genExpr(r, depth-1), r: &fuzzExpr{op: "lit", lit: 1}}
+	default:
+		e.r = genExpr(r, depth-1)
+	}
+	return e
+}
+
+func (e *fuzzExpr) src(b *strings.Builder) {
+	switch e.op {
+	case "lit":
+		if e.lit < 0 {
+			fmt.Fprintf(b, "(0 - %d)", -int64(e.lit))
+		} else {
+			fmt.Fprintf(b, "%d", e.lit)
+		}
+	case "var":
+		b.WriteString(e.name)
+	default:
+		b.WriteByte('(')
+		e.l.src(b)
+		fmt.Fprintf(b, " %s ", e.op)
+		e.r.src(b)
+		b.WriteByte(')')
+	}
+}
+
+func (e *fuzzExpr) eval() int32 {
+	switch e.op {
+	case "lit":
+		return e.lit
+	case "var":
+		return fuzzVars[e.name]
+	}
+	l, r := e.l.eval(), e.r.eval()
+	switch e.op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return l * r
+	case "&":
+		return l & r
+	case "|":
+		return l | r
+	case "^":
+		return l ^ r
+	case "/":
+		return l / r
+	case "%":
+		return l % r
+	case "<<":
+		return l << uint32(r&31)
+	case ">>":
+		return l >> uint32(r&31)
+	case "<":
+		return b2i(l < r)
+	case "<=":
+		return b2i(l <= r)
+	case "==":
+		return b2i(l == r)
+	case "!=":
+		return b2i(l != r)
+	}
+	panic("bad op")
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestFuzzExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(20030609)) // ISCA 2003
+	const perProgram = 8
+	const programs = 60
+	for p := 0; p < programs; p++ {
+		exprs := make([]*fuzzExpr, perProgram)
+		var b strings.Builder
+		b.WriteString("void main() {\n\tint a = 7;\n\tint b = 0 - 13;\n\tint c = 100000;\n\tint d = 3;\n")
+		for i := range exprs {
+			exprs[i] = genExpr(r, 4)
+			b.WriteString("\t__out(")
+			exprs[i].src(&b)
+			b.WriteString(");\n")
+		}
+		b.WriteString("}\n")
+
+		prog, err := Compile("fuzz.c", b.String())
+		if err != nil {
+			t.Fatalf("program %d failed to compile: %v\nsource:\n%s", p, err, b.String())
+		}
+		m := exec.New(prog)
+		if _, err := m.Run(10_000_000); err != nil {
+			t.Fatalf("program %d failed to run: %v\nsource:\n%s", p, err, b.String())
+		}
+		if len(m.Out) != perProgram {
+			t.Fatalf("program %d produced %d outputs", p, len(m.Out))
+		}
+		for i, e := range exprs {
+			if want := e.eval(); m.Out[i] != want {
+				var es strings.Builder
+				e.src(&es)
+				t.Errorf("program %d expr %d: compiled=%d reference=%d\nexpr: %s",
+					p, i, m.Out[i], want, es.String())
+			}
+		}
+	}
+}
+
+// TestFuzzNestedControlFlow stresses the code generator's register
+// allocation across deeply nested conditionals and loops.
+func TestFuzzNestedControlFlow(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for p := 0; p < 20; p++ {
+		n := 3 + r.Intn(5)
+		var b strings.Builder
+		b.WriteString("void main() {\n\tint s = 0;\n\tint i;\n\tint j;\n")
+		want := int32(0)
+		for k := 0; k < n; k++ {
+			lo, hi := r.Intn(5), 5+r.Intn(10)
+			inner := 1 + r.Intn(4)
+			mul := int32(1 + r.Intn(9))
+			fmt.Fprintf(&b, "\tfor (i = %d; i < %d; i = i + 1) {\n", lo, hi)
+			fmt.Fprintf(&b, "\t\tfor (j = 0; j < %d; j = j + 1) {\n", inner)
+			fmt.Fprintf(&b, "\t\t\tif ((i ^ j) %% 3 == 1) { s = s + i * %d - j; } else { s = s - 1; }\n", mul)
+			b.WriteString("\t\t}\n\t}\n")
+			for i := int32(lo); i < int32(hi); i++ {
+				for j := int32(0); j < int32(inner); j++ {
+					if (i^j)%3 == 1 {
+						want += i*mul - j
+					} else {
+						want--
+					}
+				}
+			}
+		}
+		b.WriteString("\t__out(s);\n}\n")
+		prog, err := Compile("nest.c", b.String())
+		if err != nil {
+			t.Fatalf("program %d: %v\n%s", p, err, b.String())
+		}
+		m := exec.New(prog)
+		if _, err := m.Run(10_000_000); err != nil {
+			t.Fatalf("program %d: %v", p, err)
+		}
+		if len(m.Out) != 1 || m.Out[0] != want {
+			t.Errorf("program %d: got %v, want %d\n%s", p, m.Out, want, b.String())
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+// lex splits source into tokens. Comments are // to end of line and /* */.
+func lex(file, src string) ([]token, error) {
+	l := &lexer{file: file, src: src, line: 1, col: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{l.file, l.line, l.col, fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByte2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '*':
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// twoCharPuncts are matched before single characters.
+var twoCharPuncts = []string{"==", "!=", "<=", ">=", "&&", "||", "<<", ">>"}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	tok := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		tok.kind = tokEOF
+		return tok, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isAlpha(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isAlpha(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		tok.text = l.src[start:l.pos]
+		if keywords[tok.text] {
+			tok.kind = tokKeyword
+		} else {
+			tok.kind = tokIdent
+		}
+		return tok, nil
+	case isDigit(c) || c == '.' && isDigit(l.peekByte2()):
+		start := l.pos
+		isFloat := false
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if isDigit(c) {
+				l.advance()
+			} else if c == '.' && !isFloat {
+				isFloat = true
+				l.advance()
+			} else if (c == 'e' || c == 'E') && l.pos > start {
+				isFloat = true
+				l.advance()
+				if l.peekByte() == '+' || l.peekByte() == '-' {
+					l.advance()
+				}
+			} else if c == 'x' && l.pos == start+1 && l.src[start] == '0' {
+				// hex integer
+				l.advance()
+				for l.pos < len(l.src) && isHex(l.peekByte()) {
+					l.advance()
+				}
+				break
+			} else {
+				break
+			}
+		}
+		tok.text = l.src[start:l.pos]
+		if isFloat {
+			v, err := strconv.ParseFloat(tok.text, 64)
+			if err != nil {
+				return tok, l.errf("bad float literal %q", tok.text)
+			}
+			tok.kind = tokFloatLit
+			tok.fval = v
+		} else {
+			v, err := strconv.ParseInt(tok.text, 0, 64)
+			if err != nil || v > 1<<31-1 {
+				return tok, l.errf("bad int literal %q", tok.text)
+			}
+			tok.kind = tokIntLit
+			tok.ival = v
+		}
+		return tok, nil
+	default:
+		for _, p := range twoCharPuncts {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				l.advance()
+				l.advance()
+				tok.kind = tokPunct
+				tok.text = p
+				return tok, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%<>=!&|^~(){}[];,", rune(c)) {
+			l.advance()
+			tok.kind = tokPunct
+			tok.text = string(c)
+			return tok, nil
+		}
+		return tok, l.errf("unexpected character %q", string(c))
+	}
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,34 @@
+package minic
+
+import "visa/internal/isa"
+
+// CompileToAsm compiles mini-C source to assembler text.
+func CompileToAsm(name, src string) (string, error) {
+	f, err := Parse(name, src)
+	if err != nil {
+		return "", err
+	}
+	if err := Check(f); err != nil {
+		return "", err
+	}
+	return Generate(f)
+}
+
+// Compile compiles mini-C source all the way to an assembled Program.
+func Compile(name, src string) (*isa.Program, error) {
+	asm, err := CompileToAsm(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return isa.Assemble(name, asm)
+}
+
+// MustCompile is Compile for known-good sources (the embedded benchmark
+// suite); it panics on error.
+func MustCompile(name, src string) *isa.Program {
+	p, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

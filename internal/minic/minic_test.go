@@ -1,0 +1,327 @@
+package minic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"visa/internal/exec"
+)
+
+// compileAndRun compiles src, executes it, and returns the machine.
+func compileAndRun(t *testing.T, src string) *exec.Machine {
+	t.Helper()
+	p, err := Compile("test.c", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := exec.New(p)
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func wantOut(t *testing.T, m *exec.Machine, want ...int32) {
+	t.Helper()
+	if len(m.Out) != len(want) {
+		t.Fatalf("Out = %v, want %v", m.Out, want)
+	}
+	for i, w := range want {
+		if m.Out[i] != w {
+			t.Errorf("Out[%d] = %d, want %d", i, m.Out[i], w)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	m := compileAndRun(t, `
+void main() {
+	int a = 7;
+	int b = 3;
+	__out(a + b);
+	__out(a - b);
+	__out(a * b);
+	__out(a / b);
+	__out(a % b);
+	__out(-a);
+	__out(a << 2);
+	__out(-16 >> 2);
+	__out(a & b);
+	__out(a | b);
+	__out(a ^ b);
+	__out(~0);
+	__out(!0);
+	__out(!5);
+}`)
+	wantOut(t, m, 10, 4, 21, 2, 1, -7, 28, -4, 3, 7, 4, -1, 1, 0)
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	m := compileAndRun(t, `
+void main() {
+	int a = 5;
+	int b = 9;
+	__out(a < b);
+	__out(a > b);
+	__out(a <= 5);
+	__out(a >= 6);
+	__out(a == 5);
+	__out(a != 5);
+	__out(a < b && b < 10);
+	__out(a > b || b > 8);
+	__out(a > b && b > 8);
+}`)
+	wantOut(t, m, 1, 0, 1, 0, 1, 0, 1, 1, 0)
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	m := compileAndRun(t, `
+int calls = 0;
+int bump() {
+	calls = calls + 1;
+	return 1;
+}
+void main() {
+	int x = 0 && bump();
+	__out(calls);
+	x = 1 || bump();
+	__out(calls);
+	x = 1 && bump();
+	__out(calls);
+	__out(x);
+}`)
+	wantOut(t, m, 0, 0, 1, 1)
+}
+
+func TestControlFlow(t *testing.T) {
+	m := compileAndRun(t, `
+void main() {
+	int i;
+	int sum = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		if (i % 2 == 0) {
+			sum = sum + i;
+		} else {
+			sum = sum - 1;
+		}
+	}
+	__out(sum);
+	int n = 3;
+	while __bound(10) (n > 0) {
+		n = n - 1;
+	}
+	__out(n);
+}`)
+	wantOut(t, m, 15, 0)
+}
+
+func TestArrays(t *testing.T) {
+	m := compileAndRun(t, `
+int v[8];
+int mat[3][4];
+void main() {
+	int i;
+	int j;
+	for (i = 0; i < 8; i = i + 1) {
+		v[i] = i * i;
+	}
+	__out(v[0] + v[7]);
+	for (i = 0; i < 3; i = i + 1) {
+		for (j = 0; j < 4; j = j + 1) {
+			mat[i][j] = i * 10 + j;
+		}
+	}
+	__out(mat[2][3]);
+	__out(mat[0][1]);
+}`)
+	wantOut(t, m, 49, 23, 1)
+}
+
+func TestFloats(t *testing.T) {
+	m := compileAndRun(t, `
+float acc = 0.0;
+void main() {
+	float x = 1.5;
+	float y = 2.0;
+	__out(x + y);
+	__out(x * y);
+	__out(x / y);
+	__out(x - y);
+	acc = x * 4;
+	__out(acc);
+	int i = acc;
+	__out(i);
+	__out(x < y);
+	__out(x >= y);
+	__out(x == 1.5);
+	__out(x != 1.5);
+}`)
+	wantF := []float64{3.5, 3.0, 0.75, -0.5, 6.0}
+	if len(m.OutF) != len(wantF) {
+		t.Fatalf("OutF = %v", m.OutF)
+	}
+	for i, w := range wantF {
+		if math.Abs(m.OutF[i]-w) > 1e-12 {
+			t.Errorf("OutF[%d] = %v, want %v", i, m.OutF[i], w)
+		}
+	}
+	wantOut(t, m, 6, 1, 0, 1, 0)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	m := compileAndRun(t, `
+int fib(int n) {
+	if (n < 2) {
+		return n;
+	}
+	return fib(n - 1) + fib(n - 2);
+}
+float mix(int a, float b) {
+	return a + b * 2.0;
+}
+void main() {
+	__out(fib(10));
+	__out(mix(3, 1.25));
+}`)
+	wantOut(t, m, 55)
+	if len(m.OutF) != 1 || m.OutF[0] != 5.5 {
+		t.Fatalf("OutF = %v, want [5.5]", m.OutF)
+	}
+}
+
+func TestCallPreservesTemporaries(t *testing.T) {
+	// The result of f() is combined with live temporaries across a second
+	// call — exercising caller-save spills.
+	m := compileAndRun(t, `
+int f(int x) { return x * 2; }
+void main() {
+	__out(f(1) + f(2) + f(3));
+	__out(1 + f(10) * f(2));
+}`)
+	wantOut(t, m, 12, 81)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	m := compileAndRun(t, `
+int n = 42;
+int neg = -7;
+float pi = 3.25;
+void main() {
+	__out(n);
+	__out(neg);
+	__out(pi);
+}`)
+	wantOut(t, m, 42, -7)
+	if len(m.OutF) != 1 || m.OutF[0] != 3.25 {
+		t.Fatalf("OutF = %v", m.OutF)
+	}
+}
+
+func TestSubtaskMarks(t *testing.T) {
+	p, err := Compile("marks.c", `
+void main() {
+	__subtask(0);
+	int i;
+	int s = 0;
+	for (i = 0; i < 4; i = i + 1) { s = s + i; }
+	__subtask(1);
+	__out(s);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSubTasks() != 2 {
+		t.Fatalf("subtasks = %d, want 2", p.NumSubTasks())
+	}
+}
+
+func TestDerivedLoopBounds(t *testing.T) {
+	p, err := Compile("bounds.c", `
+void main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 17; i = i + 1) { s = s + 1; }
+	for (i = 0; i <= 17; i = i + 2) { s = s + 1; }
+	for (i = 20; i > 0; i = i - 3) { s = s + 1; }
+	for __bound(99) (i = 0; i < s; i = i + 1) { s = s - 1; }
+	__out(s);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := map[int]bool{}
+	for _, b := range p.LoopBounds {
+		bounds[b] = true
+	}
+	for _, want := range []int{17, 9, 7, 99} {
+		if !bounds[want] {
+			t.Errorf("missing derived bound %d (have %v)", want, p.LoopBounds)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{`void main() { x = 1; }`, "undefined"},
+		{`void main() { int x; int x; }`, "duplicate"},
+		{`int main() { return 0; }`, "void main"},
+		{`void f() {} void main() { int x = f(); }`, "void"},
+		{`void main() { while (1) { } }`, "__bound"},
+		{`void main() { int i; for (i = 0; i < n; i = i + 1) { } }`, "undefined"},
+		{`int n; void main() { int i; for (i = 0; i < n; i = i + 1) { } }`, "bound"},
+		{`void main() { float f; __out(f % 2.0); }`, "int"},
+		{`int a[4]; void main() { a = 3; }`, "array"},
+		{`int a[4]; void main() { a[0][1] = 3; }`, "dimension"},
+		{`void main() { return 3; }`, "void"},
+		{`int f() { return; } void main() { }`, "return"},
+		{`void main() { if (1.5) { } }`, "int"},
+		{`void main() { __subtask(1); }`, "sequential"},
+		{`float x = 1.0 + 2.0; void main() { }`, "constant"},
+	}
+	for _, c := range cases {
+		_, err := Compile("err.c", c.src)
+		if err == nil {
+			t.Errorf("compile(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("compile(%q) error %q does not mention %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{
+		"void main() { int x = 99999999999; }",
+		"void main() { @ }",
+		"/* unterminated",
+	} {
+		if _, err := Compile("lex.c", src); err == nil {
+			t.Errorf("compile(%q) succeeded, want lex error", src)
+		}
+	}
+}
+
+func TestAsmOutputIsValid(t *testing.T) {
+	asm, err := CompileToAsm("t.c", `
+float tw = 0.5;
+int data[16];
+void main() {
+	__subtask(0);
+	int i;
+	for (i = 0; i < 16; i = i + 1) { data[i] = i; }
+	__out(data[15]);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{".func main", "mark 0", "#bound 16", ".data", "g_data: .space 64"} {
+		if !strings.Contains(asm, frag) {
+			t.Errorf("asm missing %q:\n%s", frag, asm)
+		}
+	}
+}

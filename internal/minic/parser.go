@@ -1,0 +1,480 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	file string
+	toks []token
+	pos  int
+}
+
+// Parse builds an AST from mini-C source.
+func Parse(file, src string) (*File, error) {
+	toks, err := lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	f := &File{Name: file}
+	for !p.at(tokEOF, "") {
+		if err := p.topLevel(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &Error{p.file, t.line, t.col, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return p.cur(), p.errf(p.cur(), "expected %q, found %s", text, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseType() (Type, bool) {
+	switch {
+	case p.accept(tokKeyword, "int"):
+		return TypeInt, true
+	case p.accept(tokKeyword, "float"):
+		return TypeFloat, true
+	case p.accept(tokKeyword, "void"):
+		return TypeVoid, true
+	}
+	return TypeVoid, false
+}
+
+func (p *parser) topLevel(f *File) error {
+	start := p.cur()
+	typ, ok := p.parseType()
+	if !ok {
+		return p.errf(start, "expected declaration, found %s", start)
+	}
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	if p.at(tokPunct, "(") {
+		fn, err := p.funcDecl(typ, nameTok)
+		if err != nil {
+			return err
+		}
+		f.Funcs = append(f.Funcs, fn)
+		return nil
+	}
+	if typ == TypeVoid {
+		return p.errf(nameTok, "variable %s cannot be void", nameTok.text)
+	}
+	d := &VarDecl{Name: nameTok.text, Type: typ, Line: nameTok.line, isGlobal: true}
+	for p.accept(tokPunct, "[") {
+		dim, err := p.expect(tokIntLit, "")
+		if err != nil {
+			return err
+		}
+		if dim.ival <= 0 {
+			return p.errf(dim, "array dimension must be positive")
+		}
+		d.Dims = append(d.Dims, int(dim.ival))
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return err
+		}
+	}
+	if len(d.Dims) > 2 {
+		return p.errf(nameTok, "at most 2 array dimensions supported")
+	}
+	if p.accept(tokPunct, "=") {
+		if len(d.Dims) > 0 {
+			return p.errf(nameTok, "array initializers are not supported")
+		}
+		e, err := p.expr()
+		if err != nil {
+			return err
+		}
+		d.Init = e
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return err
+	}
+	f.Globals = append(f.Globals, d)
+	return nil
+}
+
+func (p *parser) funcDecl(ret Type, nameTok token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: nameTok.text, Ret: ret, Line: nameTok.line}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	if !p.accept(tokPunct, ")") {
+		for {
+			ptyp, ok := p.parseType()
+			if !ok || ptyp == TypeVoid {
+				return nil, p.errf(p.cur(), "expected parameter type")
+			}
+			pname, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, &VarDecl{Name: pname.text, Type: ptyp, Line: pname.line})
+			if p.accept(tokPunct, ")") {
+				break
+			}
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf(p.cur(), "unexpected end of input in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// blockOrStmt parses either a block or a single statement wrapped in one.
+func (p *parser) blockOrStmt() (*Block, error) {
+	if p.at(tokPunct, "{") {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Stmts: []Stmt{s}}, nil
+}
+
+// boundPrefix parses an optional __bound(n) loop annotation.
+func (p *parser) boundPrefix() (int, error) {
+	if !p.at(tokIdent, "__bound") {
+		return -1, nil
+	}
+	p.next()
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return 0, err
+	}
+	n, err := p.expect(tokIntLit, "")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return 0, err
+	}
+	return int(n.ival), nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tokPunct, "{"):
+		b, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &BlockStmt{Body: b}, nil
+	case p.at(tokKeyword, "int") || p.at(tokKeyword, "float"):
+		typ, _ := p.parseType()
+		nameTok, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if p.at(tokPunct, "[") {
+			return nil, p.errf(nameTok, "local arrays are not supported; declare %s globally", nameTok.text)
+		}
+		d := &DeclStmt{Decl: &VarDecl{Name: nameTok.text, Type: typ, Line: nameTok.line}, Line: nameTok.line}
+		if p.accept(tokPunct, "=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case p.accept(tokKeyword, "if"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: t.line}
+		if p.accept(tokKeyword, "else") {
+			st.Else, err = p.blockOrStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case p.accept(tokKeyword, "while"):
+		bound, err := p.boundPrefix()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Bound: bound, Line: t.line}, nil
+	case p.accept(tokKeyword, "for"):
+		bound, err := p.boundPrefix()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{Bound: bound, Line: t.line}
+		if !p.at(tokPunct, ";") {
+			st.Init, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokPunct, ";") {
+			st.Cond, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokPunct, ")") {
+			st.Post, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		st.Body, err = p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	case p.accept(tokKeyword, "return"):
+		st := &ReturnStmt{Line: t.line}
+		if !p.at(tokPunct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = e
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// simpleStmt parses an assignment or an expression statement (no trailing
+// semicolon, so it can serve as a for-loop clause).
+func (p *parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "=") {
+		if e.Kind != ExprVar && e.Kind != ExprIndex {
+			return nil, p.errf(t, "left side of assignment is not assignable")
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: e, Value: v, Line: t.line}, nil
+	}
+	return &ExprStmt{X: e, Line: t.line}, nil
+}
+
+// Binary operator precedence, lowest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) expr() (*Expr, error) { return p.binary(0) }
+
+func (p *parser) binary(level int) (*Expr, error) {
+	if level >= len(precLevels) {
+		return p.unary()
+	}
+	lhs, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.at(tokPunct, op) {
+				t := p.next()
+				rhs, err := p.binary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &Expr{Kind: ExprBinary, Op: op, X: lhs, Y: rhs, Line: t.line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) unary() (*Expr, error) {
+	t := p.cur()
+	for _, op := range []string{"-", "!", "~"} {
+		if p.at(tokPunct, op) {
+			p.next()
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExprUnary, Op: op, X: x, Line: t.line}, nil
+		}
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (*Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIntLit:
+		return &Expr{Kind: ExprIntLit, Ival: t.ival, Line: t.line}, nil
+	case tokFloatLit:
+		return &Expr{Kind: ExprFloatLit, Fval: t.fval, Line: t.line}, nil
+	case tokPunct:
+		if t.text == "(" {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokIdent:
+		if p.accept(tokPunct, "(") {
+			call := &Expr{Kind: ExprCall, Name: t.text, Line: t.line}
+			if !p.accept(tokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(tokPunct, ")") {
+						break
+					}
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		}
+		e := &Expr{Kind: ExprVar, Name: t.text, Line: t.line}
+		for p.accept(tokPunct, "[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			if e.Kind == ExprVar {
+				e = &Expr{Kind: ExprIndex, Name: e.Name, Idx: []*Expr{idx}, Line: t.line}
+			} else {
+				e.Idx = append(e.Idx, idx)
+			}
+			if len(e.Idx) > 2 {
+				return nil, p.errf(t, "at most 2 array dimensions supported")
+			}
+		}
+		return e, nil
+	}
+	return nil, p.errf(t, "unexpected %s in expression", t)
+}

@@ -1,0 +1,63 @@
+// Package minic implements a small C-subset compiler targeting the visa
+// ISA. It stands in for the gcc PISA compiler in the paper's toolchain
+// (Figure 1): benchmarks are written in mini-C, compiled to assembly with
+// loop-bound annotations and sub-task markers, and assembled into the
+// Program form that the executor, pipelines, and static timing analyzer
+// consume.
+//
+// The language: int (32-bit) and float (64-bit) scalars; global 1-D/2-D
+// arrays; functions with value parameters and recursion; if/else, while,
+// for; full integer and floating-point expressions with short-circuit
+// && and ||; implicit int<->float conversion. Loop bounds are derived
+// automatically for counted for-loops with constant limits and otherwise
+// supplied with the __bound(n) loop prefix. __subtask(k) marks sub-task
+// boundaries; __out(e) emits a value to the observable output stream.
+package minic
+
+import "fmt"
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokPunct   // operators and punctuation
+	tokKeyword // int float void if else while for return
+)
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true, "return": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a compile error with source position.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}

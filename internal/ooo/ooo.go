@@ -1,0 +1,617 @@
+// Package ooo implements the cycle-level timing model of the complex
+// processor from paper §3.2: a dynamically scheduled 4-way superscalar with
+// a 128-entry reorder buffer, 64-entry issue queue, 64-entry load/store
+// queue, 4 pipelined universal function units, 2 data-cache ports, a
+// 2^16-entry gshare conditional branch predictor, and a 2^16-entry
+// indirect-target table. The seven stages are fetch, dispatch, issue,
+// register read, execute/memory, writeback, and retire.
+//
+// The model is functional-first and constraint-based: the executor supplies
+// the committed instruction stream, and the model computes each
+// instruction's fetch/dispatch/issue/complete/retire cycles subject to
+// structural, data, and control constraints. Mispredicted-path fetch is
+// charged as a front-end stall from the mispredicted branch's resolution.
+//
+// The pipeline also implements the paper's simple mode (§3.2): after a
+// missed checkpoint it drains and re-configures so that its timing directly
+// implements the VISA — realized here by routing the remaining trace
+// through the shared internal/simple engine operating on the same caches
+// and memory bus, with the limited renaming of §3.2 still charged to the
+// power model.
+package ooo
+
+import (
+	"visa/internal/bpred"
+	"visa/internal/cache"
+	"visa/internal/exec"
+	"visa/internal/isa"
+	"visa/internal/memsys"
+	"visa/internal/power"
+	"visa/internal/simple"
+)
+
+// Config sizes the complex core. Zero values take the paper's parameters.
+type Config struct {
+	FetchWidth  int
+	RetireWidth int
+	ROBSize     int
+	IQSize      int
+	LSQSize     int
+	FUCount     int // pipelined universal FUs; bounds issue width
+	CachePorts  int // load/store-queue and D-cache ports
+	GshareBits  uint
+
+	// SwitchOvhdCycles is the fixed overhead to drain the pipeline and
+	// re-configure into simple mode (paper §2.1 item 1). The frequency
+	// switch overhead is separate and charged by the DVS layer.
+	SwitchOvhdCycles int64
+}
+
+// Default is the paper's complex-processor configuration.
+var Default = Config{
+	FetchWidth:       4,
+	RetireWidth:      4,
+	ROBSize:          128,
+	IQSize:           64,
+	LSQSize:          64,
+	FUCount:          4,
+	CachePorts:       2,
+	GshareBits:       16,
+	SwitchOvhdCycles: 64,
+}
+
+func (c Config) withDefaults() Config {
+	d := Default
+	if c.FetchWidth > 0 {
+		d.FetchWidth = c.FetchWidth
+	}
+	if c.RetireWidth > 0 {
+		d.RetireWidth = c.RetireWidth
+	}
+	if c.ROBSize > 0 {
+		d.ROBSize = c.ROBSize
+	}
+	if c.IQSize > 0 {
+		d.IQSize = c.IQSize
+	}
+	if c.LSQSize > 0 {
+		d.LSQSize = c.LSQSize
+	}
+	if c.FUCount > 0 {
+		d.FUCount = c.FUCount
+	}
+	if c.CachePorts > 0 {
+		d.CachePorts = c.CachePorts
+	}
+	if c.GshareBits > 0 {
+		d.GshareBits = c.GshareBits
+	}
+	if c.SwitchOvhdCycles > 0 {
+		d.SwitchOvhdCycles = c.SwitchOvhdCycles
+	}
+	return d
+}
+
+// Mode says which datapath configuration is active.
+type Mode int
+
+// Operating modes.
+const (
+	ModeComplex Mode = iota
+	ModeSimple
+)
+
+// widthSlot allocates one slot per cycle up to width for IN-ORDER stages
+// (fetch, dispatch, retire): requests arrive with non-decreasing t, so a
+// single moving cursor suffices.
+type widthSlot struct {
+	width int
+	cycle int64
+	used  int
+}
+
+func (w *widthSlot) take(t int64) int64 {
+	if t > w.cycle {
+		w.cycle, w.used = t, 0
+	}
+	if w.used >= w.width {
+		w.cycle++
+		w.used = 0
+	}
+	w.used++
+	return w.cycle
+}
+
+func (w *widthSlot) reset(t int64) { w.cycle, w.used = t, 0 }
+
+// oooSlotWindow bounds how far apart in cycles concurrently tracked issue
+// slots can be; beyond it (a very long stall) old occupancy is forgotten,
+// which is a negligible, documented approximation.
+const oooSlotWindow = 8192
+
+// oooSlot allocates per-cycle slots for OUT-OF-ORDER stages (issue, cache
+// ports): a younger instruction may claim an earlier cycle than an older,
+// stalled one, so per-cycle usage is tracked in a sliding ring.
+type oooSlot struct {
+	width int
+	ring  []uint16
+	base  int64 // cycles [base, base+len(ring)) are tracked
+}
+
+func newOOOSlot(width int) *oooSlot {
+	return &oooSlot{width: width, ring: make([]uint16, oooSlotWindow)}
+}
+
+func (s *oooSlot) reset(t int64) {
+	clear(s.ring)
+	s.base = t
+}
+
+func (s *oooSlot) take(t int64) int64 {
+	if t < s.base {
+		t = s.base
+	}
+	for {
+		if t >= s.base+int64(len(s.ring)) {
+			// The window slid entirely past its contents.
+			s.reset(t)
+		}
+		idx := t % int64(len(s.ring))
+		if int(s.ring[idx]) < s.width {
+			s.ring[idx]++
+			return t
+		}
+		t++
+	}
+}
+
+// occTracker models a structure whose entries are allocated in program
+// order but freed OUT of order (issue queue: freed at issue; load/store
+// queue: freed at retire). An allocation at time t needs fewer than `size`
+// older entries still live, i.e. t must exceed the size-th largest
+// free-time seen so far. It keeps a min-heap of the `size` largest
+// free-times.
+type occTracker struct {
+	size int
+	h    []int64 // min-heap
+}
+
+func newOccTracker(size int) *occTracker {
+	return &occTracker{size: size, h: make([]int64, 0, size+1)}
+}
+
+func (o *occTracker) reset() { o.h = o.h[:0] }
+
+// earliest returns the earliest cycle a new entry can be allocated.
+func (o *occTracker) earliest() int64 {
+	if len(o.h) < o.size {
+		return 0
+	}
+	return o.h[0] + 1
+}
+
+// add records a new entry's free-time.
+func (o *occTracker) add(t int64) {
+	o.h = append(o.h, t)
+	// sift up
+	i := len(o.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if o.h[p] <= o.h[i] {
+			break
+		}
+		o.h[p], o.h[i] = o.h[i], o.h[p]
+		i = p
+	}
+	if len(o.h) <= o.size {
+		return
+	}
+	// pop min (the entry that can no longer bound anything: only the
+	// `size` largest free-times matter)
+	n := len(o.h) - 1
+	o.h[0] = o.h[n]
+	o.h = o.h[:n]
+	i = 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && o.h[l] < o.h[m] {
+			m = l
+		}
+		if r < n && o.h[r] < o.h[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		o.h[i], o.h[m] = o.h[m], o.h[i]
+		i = m
+	}
+}
+
+type storeRec struct {
+	block    uint32
+	complete int64
+}
+
+// Pipeline is the complex-core timing model.
+type Pipeline struct {
+	Cfg    Config
+	ICache *cache.Cache
+	DCache *cache.Cache
+	Bus    *memsys.Bus
+
+	Gshare   *bpred.Gshare
+	Indirect *bpred.Indirect
+
+	mode   Mode
+	simple *simple.Pipeline
+
+	// Shared structures: fetch/dispatch/issue/port/retire bandwidth, the
+	// reorder buffer, issue queue, and load/store queue capacities, the
+	// predictors, and the cache hierarchy are shared by all hardware
+	// threads, as in an SMT processor (§1.1).
+	fetchSlots widthSlot
+
+	// windows: the ROB allocates and frees in order (circular timestamp
+	// buffer); the IQ and LSQ free out of order (occupancy trackers).
+	robRetire []int64 // retire time of instruction i-ROBSize
+	iqOcc     *occTracker
+	lsqOcc    *occTracker
+	seq       int64
+
+	dispatchSlots *oooSlot
+	issueSlots    *oooSlot
+	portSlots     *oooSlot
+	retireSlots   *oooSlot
+
+	// th holds per-hardware-thread state. Thread 0 is the hard real-time
+	// task; additional threads are created on demand by FeedThread.
+	th []*threadCtx
+
+	act    power.Activity
+	srcBuf [2]uint8
+
+	// Stats
+	BranchMispredicts int64
+	IndirectMispreds  int64
+}
+
+// threadCtx is one hardware thread's private state: architectural register
+// readiness, front-end redirect/fetch-block tracking, per-thread program
+// order for retirement, and its in-flight stores (threads do not share an
+// address space in this model).
+type threadCtx struct {
+	redirect   int64
+	fetchBlock uint32
+	haveBlock  bool
+	lastFetch  int64
+
+	intReady [32]int64
+	fpReady  [32]int64
+
+	stores      []storeRec
+	maxComplete int64
+	lastRetire  int64
+}
+
+func newThreadCtx(cycle int64) *threadCtx {
+	t := &threadCtx{redirect: cycle, maxComplete: cycle, lastRetire: cycle, lastFetch: cycle}
+	for i := range t.intReady {
+		t.intReady[i] = cycle
+		t.fpReady[i] = cycle
+	}
+	return t
+}
+
+// New builds a complex pipeline with its own predictors around the shared
+// cache hierarchy.
+func New(cfg Config, ic, dc *cache.Cache, bus *memsys.Bus) *Pipeline {
+	cfg = cfg.withDefaults()
+	g := bpred.NewGshare(cfg.GshareBits)
+	p := &Pipeline{
+		Cfg:       cfg,
+		ICache:    ic,
+		DCache:    dc,
+		Bus:       bus,
+		Gshare:    g,
+		Indirect:  bpred.NewIndirect(g),
+		robRetire: make([]int64, cfg.ROBSize),
+		iqOcc:     newOccTracker(cfg.IQSize),
+		lsqOcc:    newOccTracker(cfg.LSQSize),
+	}
+	p.simple = simple.New(ic, dc, bus)
+	p.simple.CountRenames = true // §3.2: limited renaming stays active
+	p.Rebase(0)
+	return p
+}
+
+// Mode returns the active mode.
+func (p *Pipeline) Mode() Mode { return p.mode }
+
+// SimpleEngine exposes the shared simple-mode engine (for configuration
+// such as snippet cost).
+func (p *Pipeline) SimpleEngine() *simple.Pipeline { return p.simple }
+
+// Rebase restarts timing at the given cycle with an empty pipeline in
+// complex mode. Predictor and cache state persist across tasks, as on real
+// hardware; use FlushPredictors/cache flushes for misprediction injection.
+func (p *Pipeline) Rebase(cycle int64) {
+	p.mode = ModeComplex
+	p.fetchSlots = widthSlot{width: p.Cfg.FetchWidth}
+	if p.issueSlots == nil {
+		p.dispatchSlots = newOOOSlot(p.Cfg.FetchWidth)
+		p.issueSlots = newOOOSlot(p.Cfg.FUCount)
+		p.portSlots = newOOOSlot(p.Cfg.CachePorts)
+		p.retireSlots = newOOOSlot(p.Cfg.RetireWidth)
+	}
+	p.fetchSlots.reset(cycle)
+	p.dispatchSlots.reset(cycle)
+	p.issueSlots.reset(cycle)
+	p.portSlots.reset(cycle)
+	p.retireSlots.reset(cycle)
+	for i := range p.robRetire {
+		p.robRetire[i] = cycle
+	}
+	p.iqOcc.reset()
+	p.lsqOcc.reset()
+	p.seq = 0
+	p.th = p.th[:0]
+	p.th = append(p.th, newThreadCtx(cycle))
+	p.simple.Rebase(cycle)
+}
+
+// thread returns (creating if needed) hardware-thread tid's context.
+func (p *Pipeline) thread(tid int) *threadCtx {
+	for len(p.th) <= tid {
+		p.th = append(p.th, newThreadCtx(p.th[0].lastRetire))
+	}
+	return p.th[tid]
+}
+
+// ThreadLastFetch reports when thread tid last fetched, letting an SMT
+// driver interleave instruction streams in approximate fetch order.
+func (p *Pipeline) ThreadLastFetch(tid int) int64 { return p.thread(tid).lastFetch }
+
+// SwitchToSimple drains the pipeline and re-configures into simple mode
+// (missed checkpoint, §2.2). It returns the cycle at which simple-mode
+// execution begins: the drain point plus the fixed switch overhead.
+func (p *Pipeline) SwitchToSimple(atCycle int64) int64 {
+	start := atCycle + p.Cfg.SwitchOvhdCycles
+	p.mode = ModeSimple
+	p.simple.Rebase(start)
+	p.Bus.Reset()
+	return start
+}
+
+// FlushPredictors clears the gshare and indirect-target tables (used with
+// cache flushes to inject mispredictions, Figure 4).
+func (p *Pipeline) FlushPredictors() {
+	p.Gshare.Flush()
+	p.Indirect.Flush()
+}
+
+// Now returns the retire cycle of the most recent instruction of the
+// hard real-time thread (thread 0) in the active mode.
+func (p *Pipeline) Now() int64 {
+	if p.mode == ModeSimple {
+		return p.simple.Now()
+	}
+	return p.th[0].lastRetire
+}
+
+// TakeActivity returns and clears accumulated activity of the active mode.
+// In simple mode the activity was accumulated by the shared simple engine
+// (with renaming charged), which the power model prices using the complex
+// core's structure sizes, per §5.2.
+func (p *Pipeline) TakeActivity() power.Activity {
+	if p.mode == ModeSimple {
+		return p.simple.TakeActivity()
+	}
+	a := p.act
+	p.act = power.Activity{}
+	return a
+}
+
+// Feed times one dynamic instruction of the hard real-time thread
+// (thread 0) and returns its retire cycle.
+func (p *Pipeline) Feed(d *exec.DynInst) int64 { return p.FeedThread(0, d) }
+
+// FeedThread times one dynamic instruction of hardware thread tid and
+// returns its retire cycle. Thread 0 is the hard real-time task; other
+// threads are the simultaneously multithreaded soft/non-real-time work of
+// §1.1. All threads share fetch/dispatch/issue/retire bandwidth, the
+// ROB/IQ/LSQ capacities, the predictors, and the cache hierarchy; each has
+// its own architectural registers, front-end redirect state, and program
+// order. In simple mode only thread 0 may execute: the paper idles the
+// other threads without context-switching them out (§1.1).
+func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) int64 {
+	if p.mode == ModeSimple {
+		if tid != 0 {
+			panic("ooo: non-real-time threads are idled in simple mode")
+		}
+		return p.simple.Feed(d)
+	}
+	t := p.thread(tid)
+	in := d.Inst
+	cfg := &p.Cfg
+
+	// --- Fetch ---
+	ft := p.fetchSlots.take(t.redirect)
+	p.act.Fetches++
+	blk := p.ICache.Block(isa.InstAddr(d.PC))
+	if !t.haveBlock || blk != t.fetchBlock {
+		p.act.ICacheAcc++
+		if !p.ICache.Access(isa.InstAddr(d.PC)) {
+			fill := p.Bus.Request(ft)
+			p.fetchSlots.reset(fill)
+			ft = p.fetchSlots.take(fill)
+		}
+		t.fetchBlock, t.haveBlock = blk, true
+	}
+	t.lastFetch = ft
+
+	// --- Dispatch: rename, allocate ROB/IQ/LSQ ---
+	dt := ft + 1
+	if free := p.robRetire[p.seq%int64(cfg.ROBSize)]; free+1 > dt {
+		dt = free + 1
+	}
+	if e := p.iqOcc.earliest(); e > dt {
+		dt = e
+	}
+	isMem := in.Op.IsMem() && d.Addr < isa.MMIOBase
+	if isMem {
+		if e := p.lsqOcc.earliest(); e > dt {
+			dt = e
+		}
+	}
+	dt = p.dispatchSlots.take(dt)
+	p.act.Renames++
+	p.act.IQWrites++
+	p.act.ROBOps++
+	if isMem {
+		p.act.LSQOps++
+	}
+
+	// --- Issue: wait for operands, a FU issue slot, and (memory ops) a
+	// cache port. Register read occupies the cycle after issue. ---
+	it := dt + 1
+	for _, r := range in.IntSources(p.srcBuf[:]) {
+		p.act.RegReads++
+		if t.intReady[r] > it {
+			it = t.intReady[r]
+		}
+	}
+	for _, r := range in.FPSources(p.srcBuf[:]) {
+		p.act.RegReads++
+		if t.fpReady[r] > it {
+			it = t.fpReady[r]
+		}
+	}
+	lat := int64(in.Op.Latency())
+	if in.Op == isa.MARK {
+		// The sub-task snippet reads the cycle counter: fully serializing.
+		if t.maxComplete > it {
+			it = t.maxComplete
+		}
+		lat = p.simple.SnippetCycles
+	}
+	it = p.issueSlots.take(it)
+	if isMem {
+		it = p.portSlots.take(it)
+		p.act.LSQOps++ // LSQ search
+		p.act.DCacheAcc++
+	}
+	p.act.IQIssues++
+	p.iqOcc.add(it)
+
+	// --- Execute / memory ---
+	regRead := int64(1)
+	ct := it + regRead + lat
+	if isMem {
+		dblk := p.DCache.Block(d.Addr)
+		if in.Op.Class() == isa.ClassLoad {
+			// Store-to-load forwarding and conservative same-block ordering
+			// against older in-flight stores.
+			for i := len(t.stores) - 1; i >= 0; i-- {
+				if t.stores[i].block == dblk {
+					if t.stores[i].complete+1 > ct {
+						ct = t.stores[i].complete + 1
+					}
+					break
+				}
+			}
+			if !p.DCache.Access(d.Addr) {
+				fill := p.Bus.Request(it + regRead)
+				if fill > ct {
+					ct = fill
+				}
+			}
+		} else {
+			// Stores complete at address generation; the write drains to
+			// the cache after commit and does not stall the pipeline, but
+			// a store miss still occupies the memory bus (contention).
+			if !p.DCache.Access(d.Addr) {
+				p.Bus.Request(ct)
+			}
+		}
+	}
+	if ct > t.maxComplete {
+		t.maxComplete = ct
+	}
+	p.act.FUOps += lat
+	p.act.Bypass++
+
+	// --- Writeback / retire, in order ---
+	rt := ct + 2
+	if t.lastRetire > rt {
+		rt = t.lastRetire
+	}
+	rt = p.retireSlots.take(rt)
+	t.lastRetire = rt
+	p.robRetire[p.seq%int64(cfg.ROBSize)] = rt
+	if isMem {
+		p.lsqOcc.add(rt)
+	}
+	p.act.ROBOps++
+
+	// --- Destinations. With speculative wakeup and full bypass, a
+	// dependent issues lat cycles after its producer; loads wake consumers
+	// when data returns (completion). ---
+	ready := it + lat
+	if in.Op.Class() == isa.ClassLoad {
+		ready = ct
+	}
+	if in.HasIntDest() {
+		p.act.RegWrites++
+		t.intReady[in.IntDest()] = ready
+	}
+	if in.HasFPDest() {
+		p.act.RegWrites++
+		t.fpReady[in.Rd] = ready
+	}
+	if isMem && in.Op.Class() == isa.ClassStore {
+		t.stores = append(t.stores, storeRec{p.DCache.Block(d.Addr), ct})
+		if len(t.stores) > cfg.LSQSize {
+			t.stores = t.stores[1:]
+		}
+	}
+
+	// --- Control flow ---
+	switch in.Op.Class() {
+	case isa.ClassBranch:
+		p.act.BPred++
+		pred := p.Gshare.Predict(d.PC)
+		p.Gshare.Update(d.PC, d.Taken)
+		if pred != d.Taken {
+			p.BranchMispredicts++
+			p.redirectFetch(t, ct+1, tid == 0)
+		}
+	case isa.ClassJR:
+		p.act.BPred++
+		target, ok := p.Indirect.Predict(d.PC)
+		p.Indirect.Update(d.PC, d.NextPC)
+		if !ok || target != d.NextPC {
+			p.IndirectMispreds++
+			p.redirectFetch(t, ct+1, tid == 0)
+		}
+	case isa.ClassJump:
+		// Direct targets come from the BTB merged with the I-cache.
+	}
+	p.seq++
+	return rt
+}
+
+// redirectFetch restarts thread t's fetch at the branch-resolution point.
+// Only the primary (real-time) thread may move the shared fetch cursor: a
+// priority fetch policy keeps secondary threads' squashes from disturbing
+// the hard task's front-end timing.
+func (p *Pipeline) redirectFetch(t *threadCtx, at int64, primary bool) {
+	if at > t.redirect {
+		t.redirect = at
+	}
+	if primary {
+		p.fetchSlots.reset(at)
+	}
+	t.haveBlock = false
+}

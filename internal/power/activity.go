@@ -1,0 +1,47 @@
+// Package power implements the Wattch-style architectural power model used
+// to compare the VISA-compliant complex processor against the explicitly
+// safe *simple-fixed* processor (paper §5.2): per-structure activity-energy
+// accounting with perfect clock gating (optionally with 10% standby power),
+// dynamic voltage scaling across 37 operating points extrapolated from the
+// Intel XScale, and die-size-dependent clock-tree power.
+package power
+
+// Activity accumulates per-structure access counts over an accounting
+// segment executed at one (frequency, voltage) operating point. The timing
+// models fill it; Model.Energy converts it to joules.
+type Activity struct {
+	// Cycles is the length of the segment in core cycles.
+	Cycles int64
+
+	Fetches   int64 // instructions fetched
+	ICacheAcc int64 // I-cache accesses
+	DCacheAcc int64 // D-cache accesses
+	BPred     int64 // gshare + indirect-table lookups/updates
+	Renames   int64 // rename-table lookups (full or the limited simple-mode form)
+	IQWrites  int64 // issue-queue insertions
+	IQIssues  int64 // wakeup/select grants
+	LSQOps    int64 // load/store-queue insertions and searches
+	RegReads  int64 // register-file read ports used
+	RegWrites int64 // register-file write ports used
+	FUOps     int64 // function-unit operations (occupancy-weighted)
+	ROBOps    int64 // reorder-buffer/active-list writes and retires
+	Bypass    int64 // result-bus/bypass transfers
+}
+
+// Add accumulates o into a.
+func (a *Activity) Add(o Activity) {
+	a.Cycles += o.Cycles
+	a.Fetches += o.Fetches
+	a.ICacheAcc += o.ICacheAcc
+	a.DCacheAcc += o.DCacheAcc
+	a.BPred += o.BPred
+	a.Renames += o.Renames
+	a.IQWrites += o.IQWrites
+	a.IQIssues += o.IQIssues
+	a.LSQOps += o.LSQOps
+	a.RegReads += o.RegReads
+	a.RegWrites += o.RegWrites
+	a.FUOps += o.FUOps
+	a.ROBOps += o.ROBOps
+	a.Bypass += o.Bypass
+}

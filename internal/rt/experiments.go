@@ -1,0 +1,215 @@
+package rt
+
+import (
+	"fmt"
+	"strings"
+
+	"visa/internal/clab"
+)
+
+// Table3Row reproduces one column of the paper's Table 3.
+type Table3Row struct {
+	Name         string
+	DynInsts     int64
+	TightNs      float64
+	LooseNs      float64
+	SubTasks     int
+	WCETUs       float64 // WCET at 1 GHz
+	SimpleUs     float64 // actual, simple-fixed at 1 GHz
+	ComplexUs    float64 // actual, complex at 1 GHz
+	WCETOverSim  float64
+	SimOverCmplx float64
+}
+
+// Table3 computes the per-benchmark static-analysis and actual-time summary
+// (paper Table 3 / §6.1).
+func Table3(benches []*clab.Benchmark) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, b := range benches {
+		s, err := GetSetup(b)
+		if err != nil {
+			return nil, err
+		}
+		wcetUs := s.Table.TotalTimeNs(len(s.Table.Points)-1) / 1000
+		simUs := float64(s.SteadySimpleCycles) / 1000
+		cxUs := float64(s.SteadyComplexCycles) / 1000
+		rows = append(rows, Table3Row{
+			Name:         b.Name,
+			DynInsts:     s.DynInsts,
+			TightNs:      s.Deadline(true),
+			LooseNs:      s.Deadline(false),
+			SubTasks:     b.SubTasks,
+			WCETUs:       wcetUs,
+			SimpleUs:     simUs,
+			ComplexUs:    cxUs,
+			WCETOverSim:  wcetUs / simUs,
+			SimOverCmplx: simUs / cxUs,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders rows like the paper's Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE 3. C-lab benchmarks (scaled inputs).\n")
+	fmt.Fprintf(&b, "%-22s", "")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10s", r.Name)
+	}
+	b.WriteByte('\n')
+	line := func(label string, f func(Table3Row) string) {
+		fmt.Fprintf(&b, "%-22s", label)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%10s", f(r))
+		}
+		b.WriteByte('\n')
+	}
+	line("# dyn. inst. 1 task", func(r Table3Row) string { return fmt.Sprintf("%.1fK", float64(r.DynInsts)/1000) })
+	line("tight dead. (us)", func(r Table3Row) string { return fmt.Sprintf("%.1f", r.TightNs/1000) })
+	line("loose dead. (us)", func(r Table3Row) string { return fmt.Sprintf("%.1f", r.LooseNs/1000) })
+	line("# of sub-tasks", func(r Table3Row) string { return fmt.Sprintf("%d", r.SubTasks) })
+	line("WCET @1GHz (us)", func(r Table3Row) string { return fmt.Sprintf("%.1f", r.WCETUs) })
+	line("actual: simple (us)", func(r Table3Row) string { return fmt.Sprintf("%.1f", r.SimpleUs) })
+	line("actual: complex (us)", func(r Table3Row) string { return fmt.Sprintf("%.1f", r.ComplexUs) })
+	line("WCET/simple", func(r Table3Row) string { return fmt.Sprintf("%.2f", r.WCETOverSim) })
+	line("simple/complex", func(r Table3Row) string { return fmt.Sprintf("%.2f", r.SimOverCmplx) })
+	return b.String()
+}
+
+// SavingsRow is one benchmark's power comparison for Figures 2-4.
+type SavingsRow struct {
+	Name    string
+	Tight   bool
+	Complex *ProcResult
+	Simple  *ProcResult
+	Savings float64 // 1 - complex/simple average power
+}
+
+// RunComparison runs both processors under cfg and returns the power
+// comparison. FlushTasks only perturbs the complex processor (Figure 4
+// injects mispredictions into the VISA-compliant core; simple-fixed is the
+// unperturbed baseline).
+func RunComparison(b *clab.Benchmark, cfg Config) (*SavingsRow, error) {
+	s, err := GetSetup(b)
+	if err != nil {
+		return nil, err
+	}
+	cx, err := RunProcessor(s, true, cfg)
+	if err != nil {
+		return nil, err
+	}
+	simpleCfg := cfg
+	simpleCfg.FlushTasks = 0
+	sf, err := RunProcessor(s, false, simpleCfg)
+	if err != nil {
+		return nil, err
+	}
+	if cx.DeadlineViolations > 0 || sf.DeadlineViolations > 0 {
+		return nil, errf("rt: %s: DEADLINE VIOLATED (complex=%d simple=%d) — safety property broken",
+			b.Name, cx.DeadlineViolations, sf.DeadlineViolations)
+	}
+	return &SavingsRow{
+		Name:    b.Name,
+		Tight:   cfg.Tight,
+		Complex: cx,
+		Simple:  sf,
+		Savings: Savings(cx, sf),
+	}, nil
+}
+
+// Figure2 runs the headline experiment: power savings of the VISA-compliant
+// complex processor relative to simple-fixed, tight and loose deadlines,
+// with and without 10% standby power.
+func Figure2(benches []*clab.Benchmark, instances int) (string, []SavingsRow, error) {
+	var b strings.Builder
+	var all []SavingsRow
+	fmt.Fprintf(&b, "FIGURE 2. Power savings of the VISA-compliant complex processor\n")
+	fmt.Fprintf(&b, "relative to simple-fixed (T=tight, L=loose deadline).\n\n")
+	fmt.Fprintf(&b, "%-8s %6s %14s %14s %12s %12s\n",
+		"bench", "dl", "savings", "savings+stby", "simple MHz", "complex MHz")
+	for _, bench := range benches {
+		for _, tight := range []bool{true, false} {
+			row, err := RunComparison(bench, Config{Tight: tight, Instances: instances})
+			if err != nil {
+				return "", nil, err
+			}
+			sb, err := RunComparison(bench, Config{Tight: tight, Instances: instances, Standby: true})
+			if err != nil {
+				return "", nil, err
+			}
+			tag := "T"
+			if !tight {
+				tag = "L"
+			}
+			fmt.Fprintf(&b, "%-8s %6s %13.1f%% %13.1f%% %12d %12d\n",
+				bench.Name, tag, row.Savings*100, sb.Savings*100,
+				row.Simple.FinalSpecMHz, row.Complex.FinalSpecMHz)
+			all = append(all, *row, *sb)
+		}
+	}
+	return b.String(), all, nil
+}
+
+// Figure3 grants simple-fixed 1.5x the frequency at equal voltage (tight
+// deadline).
+func Figure3(benches []*clab.Benchmark, instances int) (string, []SavingsRow, error) {
+	var b strings.Builder
+	var all []SavingsRow
+	fmt.Fprintf(&b, "FIGURE 3. Power savings with simple-fixed granted 1.5x frequency\n")
+	fmt.Fprintf(&b, "at equal voltage (tight deadline).\n\n")
+	fmt.Fprintf(&b, "%-8s %14s %14s %12s %12s\n",
+		"bench", "savings", "savings+stby", "simple MHz", "complex MHz")
+	for _, bench := range benches {
+		cfg := Config{Tight: true, FreqAdvantage: 1.5, Instances: instances}
+		row, err := RunComparison(bench, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		cfg.Standby = true
+		sb, err := RunComparison(bench, cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		fmt.Fprintf(&b, "%-8s %13.1f%% %13.1f%% %12d %12d\n",
+			bench.Name, row.Savings*100, sb.Savings*100,
+			row.Simple.FinalSpecMHz, row.Complex.FinalSpecMHz)
+		all = append(all, *row, *sb)
+	}
+	return b.String(), all, nil
+}
+
+// Figure4 injects mispredictions by flushing caches and predictors at the
+// start of 10%, 20%, and 30% of tasks (tight deadline) and reports the
+// decline in savings; every deadline must still be met.
+func Figure4(benches []*clab.Benchmark, instances int) (string, []SavingsRow, error) {
+	var b strings.Builder
+	var all []SavingsRow
+	fmt.Fprintf(&b, "FIGURE 4. Power savings with injected mispredictions\n")
+	fmt.Fprintf(&b, "(caches+predictors flushed at the start of 10%%/20%%/30%% of tasks).\n\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %10s %14s\n",
+		"bench", "0%", "10%", "20%", "30%", "missed@30%")
+	for _, bench := range benches {
+		fmt.Fprintf(&b, "%-8s ", bench.Name)
+		var missed int
+		for _, pct := range []int{0, 10, 20, 30} {
+			n := instances
+			if n == 0 {
+				n = Instances
+			}
+			cfg := Config{Tight: true, Instances: n, FlushTasks: n * pct / 100}
+			row, err := RunComparison(bench, cfg)
+			if err != nil {
+				return "", nil, err
+			}
+			fmt.Fprintf(&b, "%9.1f%% ", row.Savings*100)
+			all = append(all, *row)
+			if pct == 30 {
+				missed = row.Complex.MissedTasks
+			}
+		}
+		fmt.Fprintf(&b, "%14d\n", missed)
+	}
+	fmt.Fprintf(&b, "\nAll deadlines met in every run (checked).\n")
+	return b.String(), all, nil
+}

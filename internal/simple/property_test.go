@@ -1,0 +1,137 @@
+package simple
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"visa/internal/cache"
+	"visa/internal/exec"
+	"visa/internal/isa"
+	"visa/internal/memsys"
+)
+
+// Property tests over random straight-line programs: retire times strictly
+// increase (scalar pipeline, one writeback per cycle), the model is
+// deterministic, and warm reruns never take longer than cold ones.
+func TestRandomProgramProperties(t *testing.T) {
+	templates := []string{
+		"addi r%d, r%d, 5",
+		"add r%d, r%d, r%d",
+		"mul r%d, r%d, r%d",
+		"div r%d, r%d, r%d",
+		"slt r%d, r%d, r%d",
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		src := ".text\n.func main\n"
+		n := 30 + r.Intn(120)
+		for i := 0; i < n; i++ {
+			tpl := templates[r.Intn(len(templates))]
+			rd, rs, rt := 1+r.Intn(27), 1+r.Intn(27), 1+r.Intn(27)
+			if tpl == templates[0] {
+				src += fmt.Sprintf(tpl, rd, rs) + "\n"
+			} else {
+				src += fmt.Sprintf(tpl, rd, rs, rt) + "\n"
+			}
+		}
+		src += "halt\n.endfunc"
+		prog := isa.MustAssemble("rand", src)
+
+		run := func(p *Pipeline) []int64 {
+			m := exec.New(prog)
+			var rts []int64
+			for {
+				d, ok, err := m.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					return rts
+				}
+				rts = append(rts, p.Feed(&d))
+			}
+		}
+		newPipe := func() *Pipeline {
+			return New(cache.New(cache.VISAL1), cache.New(cache.VISAL1),
+				memsys.NewBus(memsys.Default, 1000))
+		}
+
+		p := newPipe()
+		cold := run(p)
+		for i := 1; i < len(cold); i++ {
+			if cold[i] <= cold[i-1] {
+				t.Fatalf("seed %d: retire not strictly increasing at %d (scalar writeback)", seed, i)
+			}
+		}
+		p2 := newPipe()
+		again := run(p2)
+		for i := range cold {
+			if cold[i] != again[i] {
+				t.Fatalf("seed %d: nondeterministic at %d", seed, i)
+			}
+		}
+		p.Rebase(0)
+		warm := run(p)
+		if warm[len(warm)-1] > cold[len(cold)-1] {
+			t.Fatalf("seed %d: warm rerun slower than cold", seed)
+		}
+		// Scalar lower bound: at least one cycle per instruction.
+		if cold[len(cold)-1] < int64(len(cold)) {
+			t.Fatalf("seed %d: %d instructions in %d cycles exceeds scalar throughput",
+				seed, len(cold), cold[len(cold)-1])
+		}
+	}
+}
+
+// TestStateJoinIsUpperBound: the analyzer relies on State.Join being a
+// pessimistic combination — feeding any instruction from the joined state
+// must complete no earlier than from either source state.
+func TestStateJoinIsUpperBound(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	mk := func() State {
+		s := State{
+			LastFetch: int64(r.Intn(50)),
+			Redirect:  int64(r.Intn(50)),
+			ExFree:    int64(r.Intn(80)),
+			MemFree:   int64(r.Intn(80)),
+			LastWB:    int64(80 + r.Intn(20)),
+		}
+		for i := range s.IntReady {
+			s.IntReady[i] = int64(r.Intn(90))
+			s.FPReady[i] = int64(r.Intn(90))
+		}
+		return s
+	}
+	prog := isa.MustAssemble("t", `
+.text
+.func main
+    add r3, r1, r2
+    mul r4, r3, r3
+    halt
+.endfunc`)
+	for trial := 0; trial < 200; trial++ {
+		a, b := mk(), mk()
+		j := a.Join(b)
+		finish := func(s State) int64 {
+			p := New(cache.New(cache.VISAL1), cache.New(cache.VISAL1),
+				memsys.NewBus(memsys.Default, 1000))
+			p.SetState(s)
+			m := exec.New(prog)
+			for {
+				d, ok, err := m.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					return p.Now()
+				}
+				p.Feed(&d)
+			}
+		}
+		fj, fa, fb := finish(j), finish(a), finish(b)
+		if fj < fa || fj < fb {
+			t.Fatalf("trial %d: join finished at %d, before a=%d or b=%d", trial, fj, fa, fb)
+		}
+	}
+}

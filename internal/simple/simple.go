@@ -1,0 +1,314 @@
+// Package simple implements the cycle-level timing model of the VISA: the
+// six-stage, scalar, in-order pipeline of paper §3.1 (fetch, decode,
+// register read, execute, memory, writeback). It serves two masters:
+//
+//   - as the *simple-fixed* processor, the explicitly-safe baseline the
+//     paper compares against; and
+//   - as the complex processor's simple mode (§3.2), which by construction
+//     "directly implements the VISA" — internal/ooo switches to this engine
+//     after a missed checkpoint.
+//
+// Timing rules (paper §3.1):
+//
+//   - peak throughput 1 instruction/cycle in every stage;
+//   - static BTFN branch prediction; branch targets cached with the
+//     instruction, so correctly predicted branches cost nothing;
+//   - conditional-branch misprediction penalty and indirect-branch stall
+//     are both 4 cycles;
+//   - a single unpipelined universal function unit: a multi-cycle operation
+//     blocks younger instructions in register read;
+//   - an instruction that depends on the load immediately ahead of it
+//     stalls at least one cycle;
+//   - blocking caches: at most one outstanding memory request, so the
+//     worst-case memory stall conforms to the VISA's 100 ns.
+package simple
+
+import (
+	"visa/internal/bpred"
+	"visa/internal/exec"
+	"visa/internal/isa"
+	"visa/internal/power"
+)
+
+// Cache is the cache-timing interface the pipeline consumes. cache.Cache
+// implements it; the static timing analyzer substitutes a
+// categorization-driven model so that the analyzer and the simulator share
+// this engine's timing rules verbatim.
+type Cache interface {
+	// Access touches addr and reports whether it hit.
+	Access(addr uint32) bool
+}
+
+// Bus is the memory-system interface: the blocking in-order pipeline only
+// ever has one outstanding request, so the miss penalty is the plain
+// no-contention latency.
+type Bus interface {
+	// Latency returns the miss penalty in cycles at the current frequency.
+	Latency() int64
+}
+
+// FetchToExec is the number of cycles between fetching an instruction and
+// executing it, fixed by the VISA's 4-cycle branch penalty.
+const FetchToExec = 4
+
+// DefaultSnippetCycles is the execute-stage occupancy charged to a MARK
+// instruction. It stands in for the sub-task boundary code snippet that
+// advances the watchdog counter and samples the cycle counter (§2.2, §4.3);
+// the paper accounts for this overhead in both time and power.
+const DefaultSnippetCycles = 12
+
+// Pipeline is the streaming VISA timing engine. Feed it the dynamic
+// instruction trace; it returns each instruction's retire (writeback) cycle.
+// Cache and memory-bus state is owned by the caller so that the complex
+// processor's simple mode shares one datapath with its complex mode.
+type Pipeline struct {
+	ICache Cache
+	DCache Cache
+	Bus    Bus
+
+	// SnippetCycles is the MARK serializing cost (see DefaultSnippetCycles).
+	SnippetCycles int64
+
+	// CountRenames charges a rename-table lookup per instruction, modelling
+	// simple mode on the complex datapath, where a limited form of renaming
+	// still locates operands in the physical register file (§3.2, §5.2).
+	CountRenames bool
+
+	lastFetch int64 // completion cycle of the most recent fetch
+	redirect  int64 // earliest cycle fetch may resume after a control stall
+	exFree    int64 // cycle the execute stage accepts a new instruction
+	memFree   int64 // cycle the memory stage accepts a new instruction
+	lastWB    int64 // completion cycle of the most recent writeback
+	intReady  [32]int64
+	fpReady   [32]int64
+
+	act    power.Activity
+	srcBuf [2]uint8
+
+	// Mispredicts counts static-heuristic conditional mispredictions plus
+	// indirect stalls, for reporting.
+	Mispredicts int64
+}
+
+// New builds a VISA pipeline around the given cache hierarchy.
+func New(ic, dc Cache, bus Bus) *Pipeline {
+	p := &Pipeline{ICache: ic, DCache: dc, Bus: bus, SnippetCycles: DefaultSnippetCycles}
+	p.Rebase(0)
+	return p
+}
+
+// Rebase restarts pipeline timing at the given cycle: the pipeline is empty
+// (drained) and every register is ready. Cache contents are not touched.
+// Use Rebase(0) at a task boundary and Rebase(t) when the complex processor
+// switches into simple mode at cycle t.
+func (p *Pipeline) Rebase(cycle int64) {
+	p.lastFetch = cycle - 1
+	p.redirect = cycle
+	p.exFree = cycle
+	p.memFree = cycle
+	p.lastWB = cycle
+	for i := range p.intReady {
+		p.intReady[i] = cycle
+		p.fpReady[i] = cycle
+	}
+}
+
+// Now returns the retire cycle of the most recent instruction.
+func (p *Pipeline) Now() int64 { return p.lastWB }
+
+// State is a snapshot of the pipeline's timing state. The static timing
+// analyzer uses it to compose path timings soundly: every field is a
+// "ready at" cycle, and a state with later fields is strictly worse, so the
+// analyzer can join states by taking componentwise maxima.
+type State struct {
+	LastFetch int64
+	Redirect  int64
+	ExFree    int64
+	MemFree   int64
+	LastWB    int64
+	IntReady  [32]int64
+	FPReady   [32]int64
+}
+
+// State captures the current timing state.
+func (p *Pipeline) State() State {
+	return State{
+		LastFetch: p.lastFetch,
+		Redirect:  p.redirect,
+		ExFree:    p.exFree,
+		MemFree:   p.memFree,
+		LastWB:    p.lastWB,
+		IntReady:  p.intReady,
+		FPReady:   p.fpReady,
+	}
+}
+
+// SetState restores a previously captured timing state.
+func (p *Pipeline) SetState(s State) {
+	p.lastFetch = s.LastFetch
+	p.redirect = s.Redirect
+	p.exFree = s.ExFree
+	p.memFree = s.MemFree
+	p.lastWB = s.LastWB
+	p.intReady = s.IntReady
+	p.fpReady = s.FPReady
+}
+
+// Shifted returns the state translated by delta cycles.
+func (s State) Shifted(delta int64) State {
+	out := s
+	out.LastFetch += delta
+	out.Redirect += delta
+	out.ExFree += delta
+	out.MemFree += delta
+	out.LastWB += delta
+	for i := range out.IntReady {
+		out.IntReady[i] += delta
+		out.FPReady[i] += delta
+	}
+	return out
+}
+
+// Join returns the componentwise maximum of two states — an upper bound on
+// both, hence a sound (pessimistic) entry state for whatever follows.
+func (s State) Join(o State) State {
+	out := s
+	out.LastFetch = max64(s.LastFetch, o.LastFetch)
+	out.Redirect = max64(s.Redirect, o.Redirect)
+	out.ExFree = max64(s.ExFree, o.ExFree)
+	out.MemFree = max64(s.MemFree, o.MemFree)
+	out.LastWB = max64(s.LastWB, o.LastWB)
+	for i := range out.IntReady {
+		out.IntReady[i] = max64(s.IntReady[i], o.IntReady[i])
+		out.FPReady[i] = max64(s.FPReady[i], o.FPReady[i])
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TakeActivity returns and clears the accumulated power activity. The
+// caller invokes it at operating-point changes and task boundaries. The
+// segment cycle count is filled in by the caller, which knows the segment
+// boundaries.
+func (p *Pipeline) TakeActivity() power.Activity {
+	a := p.act
+	p.act = power.Activity{}
+	return a
+}
+
+// Feed advances the pipeline by one dynamic instruction and returns its
+// retire (writeback-complete) cycle.
+func (p *Pipeline) Feed(d *exec.DynInst) int64 {
+	in := d.Inst
+
+	// Fetch: one instruction per cycle through the I-cache; a miss blocks
+	// fetch for the memory latency.
+	fs := p.lastFetch + 1
+	if p.redirect > fs {
+		fs = p.redirect
+	}
+	p.act.Fetches++
+	p.act.ICacheAcc++
+	if !p.ICache.Access(isa.InstAddr(d.PC)) {
+		fs += p.Bus.Latency()
+	}
+	p.lastFetch = fs
+
+	// Register read / execute entry. The instruction reaches execute
+	// FetchToExec cycles after fetch unless held by the unpipelined FU, an
+	// unavailable source operand, or (for MARK) full serialization.
+	issue := fs + FetchToExec
+	if p.exFree > issue {
+		issue = p.exFree
+	}
+	for _, r := range in.IntSources(p.srcBuf[:]) {
+		p.act.RegReads++
+		if p.intReady[r] > issue {
+			issue = p.intReady[r]
+		}
+	}
+	for _, r := range in.FPSources(p.srcBuf[:]) {
+		p.act.RegReads++
+		if p.fpReady[r] > issue {
+			issue = p.fpReady[r]
+		}
+	}
+	lat := int64(in.Op.Latency())
+	if in.Op == isa.MARK {
+		lat = p.SnippetCycles
+		if p.lastWB > issue {
+			issue = p.lastWB // snippet reads the cycle counter: serialize
+		}
+	}
+	if p.CountRenames {
+		p.act.Renames++
+	}
+	exDone := issue + lat
+	p.act.FUOps += lat
+
+	// Memory stage: every instruction passes through; loads and stores
+	// access the D-cache and block on a miss.
+	memStart := exDone
+	if p.memFree > memStart {
+		memStart = p.memFree
+	}
+	memDone := memStart + 1
+	if in.Op.IsMem() && d.Addr < isa.MMIOBase {
+		p.act.DCacheAcc++
+		if !p.DCache.Access(d.Addr) {
+			memDone += p.Bus.Latency()
+		}
+	}
+
+	// Writeback, in order, one per cycle.
+	wb := memDone + 1
+	if p.lastWB+1 > wb {
+		wb = p.lastWB + 1
+	}
+
+	// The execute stage frees when the instruction moves to memory; the
+	// memory stage frees when it moves to writeback.
+	p.exFree = memStart
+	p.memFree = memDone
+	p.lastWB = wb
+	p.act.Bypass++
+
+	// Destination availability (full bypass network: values usable the
+	// cycle after they are produced).
+	if in.HasIntDest() {
+		p.act.RegWrites++
+		ready := exDone
+		if in.Op == isa.LW {
+			ready = memDone
+		}
+		p.intReady[in.IntDest()] = ready
+	}
+	if in.HasFPDest() {
+		p.act.RegWrites++
+		ready := exDone
+		if in.Op == isa.LD {
+			ready = memDone
+		}
+		p.fpReady[in.Rd] = ready
+	}
+
+	// Control flow: static BTFN for conditional branches, no penalty for
+	// direct jumps, and a fetch stall until execution for indirect jumps.
+	switch in.Op.Class() {
+	case isa.ClassBranch:
+		if bpred.StaticTaken(d.PC, in.Imm) != d.Taken {
+			p.redirect = exDone
+			p.Mispredicts++
+		}
+	case isa.ClassJR:
+		p.redirect = exDone
+		p.Mispredicts++
+	}
+	return wb
+}

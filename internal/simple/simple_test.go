@@ -1,0 +1,371 @@
+package simple
+
+import (
+	"testing"
+
+	"visa/internal/cache"
+	"visa/internal/exec"
+	"visa/internal/isa"
+	"visa/internal/memsys"
+)
+
+// timeProgram runs src through the functional executor and the VISA
+// pipeline at 1 GHz with cold caches, returning total cycles.
+func timeProgram(t *testing.T, src string) (int64, *Pipeline) {
+	t.Helper()
+	prog, err := isa.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := cache.New(cache.VISAL1)
+	dc := cache.New(cache.VISAL1)
+	bus := memsys.NewBus(memsys.Default, 1000)
+	p := New(ic, dc, bus)
+	m := exec.New(prog)
+	for {
+		d, ok, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		p.Feed(&d)
+	}
+	return p.Now(), p
+}
+
+func TestScalarThroughput(t *testing.T) {
+	// After the cold I-cache miss, independent ALU instructions retire one
+	// per cycle: doubling the instruction count adds exactly that many
+	// cycles.
+	mk := func(n int) string {
+		src := ".text\n.func main\n"
+		for i := 0; i < n; i++ {
+			src += "addi r1, r1, 1\n"
+		}
+		return src + "halt\n.endfunc"
+	}
+	// Both sizes fit one 64-byte I-cache block (16 instructions), so the
+	// cold-miss cost cancels in the difference.
+	c4, _ := timeProgram(t, mk(4))
+	c12, _ := timeProgram(t, mk(12))
+	if c12-c4 != 8 {
+		t.Errorf("12-4 instruction delta = %d cycles, want 8 (1 IPC)", c12-c4)
+	}
+}
+
+func TestLoadUseStall(t *testing.T) {
+	dep := `
+.data
+v: .word 7
+.text
+.func main
+    la r2, v
+    lw r1, 0(r2)
+    add r3, r1, r1
+    halt
+.endfunc`
+	indep := `
+.data
+v: .word 7
+.text
+.func main
+    la r2, v
+    lw r1, 0(r2)
+    add r3, r2, r2
+    halt
+.endfunc`
+	cd, _ := timeProgram(t, dep)
+	ci, _ := timeProgram(t, indep)
+	if cd-ci != 1 {
+		t.Errorf("load-use stall = %d cycles, want exactly 1 (paper §3.1)", cd-ci)
+	}
+}
+
+func TestBranchMispredictPenalty(t *testing.T) {
+	// A forward conditional branch is statically predicted not-taken. The
+	// same code with data flipping the branch to taken costs exactly 4
+	// extra cycles (penalty), minus the skipped instruction's cycle.
+	mk := func(v int) string {
+		return `
+.data
+v: .word ` + string(rune('0'+v)) + `
+.text
+.func main
+    la r2, v
+    lw r1, 0(r2)
+    beq r1, r0, skip
+    addi r3, r3, 1
+skip:
+    addi r4, r4, 1
+    addi r4, r4, 2
+    halt
+.endfunc`
+	}
+	notTaken, pn := timeProgram(t, mk(1)) // v=1: falls through, prediction correct
+	taken, pt := timeProgram(t, mk(0))    // v=0: taken, misprediction
+	if pn.Mispredicts != 0 {
+		t.Errorf("not-taken run mispredicts = %d, want 0", pn.Mispredicts)
+	}
+	if pt.Mispredicts != 1 {
+		t.Errorf("taken run mispredicts = %d, want 1", pt.Mispredicts)
+	}
+	// Taken path skips one instruction (-1 cycle) and pays the 4-cycle
+	// redirect: net +3.
+	if d := taken - notTaken; d != 3 {
+		t.Errorf("taken-vs-not delta = %d cycles, want 3 (4-cycle penalty - 1 skipped)", d)
+	}
+}
+
+func TestBackwardBranchPredictedTaken(t *testing.T) {
+	// A loop's backward branch is predicted taken: every iteration except
+	// the final (not-taken, mispredicted) exit is penalty-free, so the
+	// per-iteration cost is exactly the loop body length.
+	mk := func(n int) string {
+		return `
+.text
+.func main
+    li r1, ` + itoa(n) + `
+    li r2, 0
+loop:
+    addi r2, r2, 1
+    addi r3, r3, 1
+    addi r4, r4, 1
+    blt r2, r1, loop #bound ` + itoa(n) + `
+    halt
+.endfunc`
+	}
+	c8, p8 := timeProgram(t, mk(8))
+	c9, p9 := timeProgram(t, mk(9))
+	if c9-c8 != 4 {
+		t.Errorf("extra iteration = %d cycles, want 4 (3 body + 1 branch, no penalty)", c9-c8)
+	}
+	if p8.Mispredicts != 1 || p9.Mispredicts != 1 {
+		t.Errorf("mispredicts = %d,%d want 1,1 (only the loop exit)", p8.Mispredicts, p9.Mispredicts)
+	}
+}
+
+func TestIndirectBranchStalls(t *testing.T) {
+	// JR always redirects fetch to the resolution point.
+	_, p := timeProgram(t, `
+.text
+.func main
+    call f
+    halt
+.endfunc
+.func f
+    ret
+.endfunc`)
+	if p.Mispredicts != 1 {
+		t.Errorf("indirect stalls = %d, want 1 (the ret)", p.Mispredicts)
+	}
+}
+
+func TestUnpipelinedFU(t *testing.T) {
+	muls := `
+.text
+.func main
+    mul r1, r2, r3
+    mul r4, r5, r6
+    halt
+.endfunc`
+	adds := `
+.text
+.func main
+    add r1, r2, r3
+    add r4, r5, r6
+    halt
+.endfunc`
+	cm, _ := timeProgram(t, muls)
+	ca, _ := timeProgram(t, adds)
+	// Two independent 6-cycle MULs serialize on the single unpipelined FU:
+	// 2*6 vs 2*1 cycles of FU occupancy.
+	if cm-ca != 10 {
+		t.Errorf("mul-vs-add delta = %d cycles, want 10", cm-ca)
+	}
+}
+
+func TestDCacheMissBlocks(t *testing.T) {
+	// Two loads to the same block: first misses (100ns = 100 cycles at
+	// 1 GHz), second hits. Compare against loads to two distinct blocks.
+	sameBlock := `
+.data
+a: .word 1 2
+.text
+.func main
+    la r2, a
+    lw r1, 0(r2)
+    lw r3, 4(r2)
+    halt
+.endfunc`
+	diffBlock := `
+.data
+a: .word 1
+pad: .space 60
+b: .word 2
+.text
+.func main
+    la r2, a
+    lw r1, 0(r2)
+    lw r3, 64(r2)
+    halt
+.endfunc`
+	cs, ps := timeProgram(t, sameBlock)
+	cd, pd := timeProgram(t, diffBlock)
+	if got := ps.DCache.(*cache.Cache).Stats().Misses; got != 1 {
+		t.Errorf("same-block misses = %d, want 1", got)
+	}
+	if got := pd.DCache.(*cache.Cache).Stats().Misses; got != 2 {
+		t.Errorf("diff-block misses = %d, want 2", got)
+	}
+	if cd-cs != 100 {
+		t.Errorf("extra miss cost = %d cycles, want 100 (100ns at 1GHz)", cd-cs)
+	}
+}
+
+func TestMissPenaltyScalesWithFrequency(t *testing.T) {
+	prog := isa.MustAssemble("t", `
+.data
+a: .word 1
+.text
+.func main
+    la r2, a
+    lw r1, 0(r2)
+    halt
+.endfunc`)
+	run := func(mhz int) int64 {
+		ic := cache.New(cache.VISAL1)
+		dc := cache.New(cache.VISAL1)
+		p := New(ic, dc, memsys.NewBus(memsys.Default, mhz))
+		m := exec.New(prog)
+		for {
+			d, ok, err := m.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			p.Feed(&d)
+		}
+		return p.Now()
+	}
+	// 100ns is 100 cycles at 1GHz but only 10 cycles at 100MHz; with one
+	// I-cache and one D-cache miss the difference is 2*90.
+	if d := run(1000) - run(100); d != 180 {
+		t.Errorf("frequency-scaled penalty delta = %d, want 180", d)
+	}
+}
+
+func TestMarkSerializesAndCharges(t *testing.T) {
+	with := `
+.text
+.func main
+    addi r1, r1, 1
+    mark 0
+    halt
+.endfunc`
+	without := `
+.text
+.func main
+    addi r1, r1, 1
+    addi r2, r2, 1
+    halt
+.endfunc`
+	cw, _ := timeProgram(t, with)
+	co, _ := timeProgram(t, without)
+	if cw-co < DefaultSnippetCycles-2 {
+		t.Errorf("MARK cost = %d cycles, want about %d", cw-co, DefaultSnippetCycles)
+	}
+}
+
+func TestRebaseRestartsCleanly(t *testing.T) {
+	prog := isa.MustAssemble("t", `
+.text
+.func main
+    addi r1, r1, 1
+    addi r2, r2, 2
+    halt
+.endfunc`)
+	ic := cache.New(cache.VISAL1)
+	dc := cache.New(cache.VISAL1)
+	p := New(ic, dc, memsys.NewBus(memsys.Default, 1000))
+	run := func() int64 {
+		m := exec.New(prog)
+		start := p.Now()
+		for {
+			d, ok, err := m.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			p.Feed(&d)
+		}
+		return p.Now() - start
+	}
+	first := run()
+	p.Rebase(0)
+	second := run()
+	// The second run has a warm I-cache, so it must be faster.
+	if second >= first {
+		t.Errorf("warm rerun took %d cycles, cold took %d", second, first)
+	}
+	p.Rebase(5000)
+	m := exec.New(prog)
+	for {
+		d, ok, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if rt := p.Feed(&d); rt < 5000 {
+			t.Fatalf("retire at %d before rebase point 5000", rt)
+		}
+	}
+}
+
+func TestActivityAccounting(t *testing.T) {
+	_, p := timeProgram(t, `
+.data
+v: .word 3
+.text
+.func main
+    la r2, v
+    lw r1, 0(r2)
+    add r3, r1, r2
+    sw r3, 0(r2)
+    halt
+.endfunc`)
+	a := p.TakeActivity()
+	if a.Fetches != 6 {
+		t.Errorf("fetches = %d, want 6", a.Fetches)
+	}
+	if a.DCacheAcc != 2 {
+		t.Errorf("dcache accesses = %d, want 2 (lw+sw)", a.DCacheAcc)
+	}
+	if a.Renames != 0 {
+		t.Errorf("simple-fixed must not charge renames, got %d", a.Renames)
+	}
+	if a2 := p.TakeActivity(); a2.Fetches != 0 {
+		t.Error("TakeActivity did not clear the accumulator")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

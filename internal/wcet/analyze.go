@@ -1,0 +1,433 @@
+package wcet
+
+import (
+	"fmt"
+
+	"visa/internal/cache"
+	"visa/internal/cfg"
+	"visa/internal/exec"
+	"visa/internal/isa"
+	"visa/internal/memsys"
+	"visa/internal/simple"
+)
+
+// Analyzer holds the per-program analysis state: control flow, loop bounds,
+// caching categorizations, and memoized scope summaries.
+type Analyzer struct {
+	Prog  *isa.Program
+	Graph *cfg.Graph
+	Cats  []ICat
+
+	CacheCfg      cache.Config
+	MemCfg        memsys.Config
+	SnippetCycles int64
+
+	dcPad []int64 // worst-case D-cache misses per sub-task (profile pad)
+
+	// staticDC selects the integrated static data-cache analysis (see
+	// dcache.go); when the data working set does not fit, every data
+	// reference is simulated as a miss.
+	staticDC     bool
+	staticDCFits bool
+
+	pathsMemo map[loopKey]loopPathsVal
+	sumMemo   map[sumKey]int64
+	fnMemo    map[fnKey]int64
+}
+
+type loopKey struct {
+	fn string
+	id int
+}
+
+type loopPathsVal struct {
+	body []path
+	exit []path
+}
+
+type sumKey struct {
+	fn   string
+	loop int
+	pen  int64
+	cold bool
+}
+
+type fnKey struct {
+	fn  string
+	pen int64
+}
+
+// Result is the analysis output for one frequency.
+type Result struct {
+	FMHz     int
+	Penalty  int64   // cache-miss penalty in cycles at FMHz
+	SubTasks []int64 // WCET in cycles per sub-task (includes D-cache pad)
+	Total    int64   // sum over sub-tasks
+}
+
+// New builds an analyzer for prog with the paper's cache and memory
+// parameters (Table 1).
+func New(prog *isa.Program) (*Analyzer, error) {
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analyzer{
+		Prog:          prog,
+		Graph:         g,
+		CacheCfg:      cache.VISAL1,
+		MemCfg:        memsys.Default,
+		SnippetCycles: simple.DefaultSnippetCycles,
+		dcPad:         make([]int64, maxInt(prog.NumSubTasks(), 1)),
+		pathsMemo:     map[loopKey]loopPathsVal{},
+		sumMemo:       map[sumKey]int64{},
+		fnMemo:        map[fnKey]int64{},
+	}
+	a.Cats = categorize(g, a.CacheCfg)
+
+	// Sub-task markers must sit at the top level of main: checkpoints are a
+	// straight-line protocol (paper §2).
+	if len(prog.Marks) > 0 {
+		mainFG := g.Funcs["main"]
+		if mainFG == nil {
+			return nil, fmt.Errorf("wcet: %s: sub-task markers but no main", prog.Name)
+		}
+		for i, pc := range prog.Marks {
+			if b := mainFG.BlockAt(pc); b.Loop != -1 {
+				return nil, fmt.Errorf("wcet: %s: sub-task %d marker inside a loop", prog.Name, i)
+			}
+		}
+	}
+	return a, nil
+}
+
+// SetDCachePad installs the per-sub-task worst-case data-cache miss counts
+// obtained from profiling (the paper pads WCET with trace-derived D-cache
+// miss information, §3.3). Each miss is charged the full memory latency.
+func (a *Analyzer) SetDCachePad(misses []int64) error {
+	if len(misses) != len(a.dcPad) {
+		return fmt.Errorf("wcet: pad for %d sub-tasks, program has %d", len(misses), len(a.dcPad))
+	}
+	copy(a.dcPad, misses)
+	return nil
+}
+
+// Analyze computes per-sub-task WCETs in cycles at fMHz.
+func (a *Analyzer) Analyze(fMHz int) (*Result, error) {
+	pen := memsys.CyclesForNs(a.MemCfg.WorstLatNs, fMHz)
+	res := &Result{FMHz: fMHz, Penalty: pen}
+
+	main := a.Graph.Funcs["main"]
+	if main == nil {
+		return nil, fmt.Errorf("wcet: %s has no main", a.Prog.Name)
+	}
+	starts := a.Prog.Marks
+	if len(starts) == 0 {
+		starts = []int{main.Fn.Start} // whole task as one region
+	}
+	for i, start := range starts {
+		paths, err := a.regionPaths(main, start, len(a.Prog.Marks) > 0)
+		if err != nil {
+			return nil, err
+		}
+		worst := int64(0)
+		for _, p := range paths {
+			c, err := a.simPath(main, p, pen, missAlwaysCold(a))
+			if err != nil {
+				return nil, err
+			}
+			if c > worst {
+				worst = c
+			}
+		}
+		worst += a.dcPad[min(i, len(a.dcPad)-1)] * pen
+		res.SubTasks = append(res.SubTasks, worst)
+		res.Total += worst
+	}
+	return res, nil
+}
+
+// --- charging predicates ---
+
+// missFn decides whether the first touch of pc's block misses in the
+// current simulation phase.
+type missFn func(pc int) bool
+
+// missAlwaysCold charges every first touch as a miss: used for sub-task
+// regions and function summaries, which are analyzed cold (the safe
+// assumption after a mode switch or at task start).
+func missAlwaysCold(a *Analyzer) missFn {
+	return func(pc int) bool { return true }
+}
+
+// missFirstIter charges loop l's first iteration: blocks persistent at l
+// (or at an enclosing scope when the environment is cold) miss on first
+// touch; AlwaysMiss always misses.
+func missFirstIter(a *Analyzer, fg *cfg.FuncGraph, l *cfg.Loop, coldEnv bool) missFn {
+	return func(pc int) bool {
+		cat := a.Cats[pc]
+		switch cat.Cat {
+		case AlwaysMiss:
+			return true
+		case FirstMiss:
+			if cat.ScopeFn == fg.Fn.Name && cat.LoopID == l.ID {
+				return true
+			}
+			if scopeOutside(cat, fg.Fn.Name, l, fg) {
+				return coldEnv
+			}
+		}
+		return false
+	}
+}
+
+// missSteady charges only AlwaysMiss accesses (everything persistent is
+// resident after the first iteration).
+func missSteady(a *Analyzer) missFn {
+	return func(pc int) bool { return a.Cats[pc].Cat == AlwaysMiss }
+}
+
+// --- simulation plumbing ---
+
+// catICache drives the shared VISA timing engine from categorizations.
+type catICache struct {
+	a        *Analyzer
+	miss     missFn
+	loaded   map[uint32]bool
+	last     uint32
+	haveLast bool
+}
+
+func (c *catICache) reset(miss missFn) {
+	c.miss = miss
+	c.loaded = map[uint32]bool{}
+	c.haveLast = false
+}
+
+func (c *catICache) Access(addr uint32) bool {
+	blk := addr / uint32(c.a.CacheCfg.BlockBytes)
+	if c.haveLast && blk == c.last {
+		return true // sequential fetch within the just-fetched block
+	}
+	c.last, c.haveLast = blk, true
+	if c.loaded[blk] {
+		return true
+	}
+	pc := int((addr - isa.CodeBase) / isa.InstBytes)
+	if !c.miss(pc) {
+		c.loaded[blk] = true
+		return true
+	}
+	if c.a.Cats[pc].Cat != AlwaysMiss {
+		c.loaded[blk] = true // persistent: resident after the one miss
+	}
+	return false
+}
+
+// hitCache is the D-cache stand-in: always hit (misses are charged by the
+// profile pad, as in the paper, or by the static per-block pad).
+type hitCache struct{}
+
+func (hitCache) Access(uint32) bool { return true }
+
+// missCache is the degraded D-cache stand-in used when the static analysis
+// cannot prove persistence: every reference misses.
+type missCache struct{}
+
+func (missCache) Access(uint32) bool { return false }
+
+// penBus supplies the miss penalty at the analysis frequency.
+type penBus struct{ pen int64 }
+
+func (b penBus) Latency() int64 { return b.pen }
+
+// engine builds a fresh VISA timing engine for one simulation phase.
+func (a *Analyzer) engine(pen int64, miss missFn) (*simple.Pipeline, *catICache) {
+	ic := &catICache{a: a}
+	ic.reset(miss)
+	var dc simple.Cache = hitCache{}
+	if a.staticDC && !a.staticDCFits {
+		dc = missCache{}
+	}
+	eng := simple.New(ic, dc, penBus{pen})
+	eng.SnippetCycles = a.SnippetCycles
+	return eng, ic
+}
+
+// simPath times one path from a drained pipeline at cycle 0 and returns the
+// completion cycle. Inner loops and calls are charged their (memoized)
+// summaries as drained segments.
+func (a *Analyzer) simPath(fg *cfg.FuncGraph, p path, pen int64, miss missFn) (int64, error) {
+	eng, _ := a.engine(pen, miss)
+	return a.runPath(eng, fg, p, pen, true)
+}
+
+// runPath feeds a path into eng. coldInner selects the charging context for
+// inner-loop and callee summaries.
+func (a *Analyzer) runPath(eng *simple.Pipeline, fg *cfg.FuncGraph, p path, pen int64, coldInner bool) (int64, error) {
+	var d exec.DynInst
+	for _, s := range p.steps {
+		switch {
+		case s.loop >= 0:
+			cyc, err := a.loopTotal(fg, fg.Loops[s.loop], pen, coldInner)
+			if err != nil {
+				return 0, err
+			}
+			eng.Rebase(eng.Now() + cyc)
+		case s.callee != "":
+			cyc, err := a.fnTotal(s.callee, pen)
+			if err != nil {
+				return 0, err
+			}
+			eng.Rebase(eng.Now() + cyc)
+		default:
+			d = exec.DynInst{PC: s.pc, Inst: fg.Prog.Code[s.pc], Taken: s.taken}
+			eng.Feed(&d)
+		}
+	}
+	return eng.Now(), nil
+}
+
+// loopTotal returns the WCET in cycles of one complete execution of loop l:
+// worst first iteration, Bound-1 worst steady iterations with pipeline
+// overlap, and the worst exit path (paper §3.3's fix-point approach).
+func (a *Analyzer) loopTotal(fg *cfg.FuncGraph, l *cfg.Loop, pen int64, cold bool) (int64, error) {
+	key := sumKey{fg.Fn.Name, l.ID, pen, cold}
+	if v, ok := a.sumMemo[key]; ok {
+		return v, nil
+	}
+	pv, err := a.pathsOf(fg, l)
+	if err != nil {
+		return 0, err
+	}
+
+	if l.Bound == 0 {
+		// Only the exit path runs (header condition false immediately).
+		worst := int64(0)
+		for _, p := range pv.exit {
+			c, err := a.simPath(fg, p, pen, missFirstIter(a, fg, l, cold))
+			if err != nil {
+				return 0, err
+			}
+			if c > worst {
+				worst = c
+			}
+		}
+		a.sumMemo[key] = worst
+		return worst, nil
+	}
+
+	// Worst first iteration, cold-charged.
+	first := int64(0)
+	for _, p := range pv.body {
+		c, err := a.simPath(fg, p, pen, missFirstIter(a, fg, l, cold))
+		if err != nil {
+			return 0, err
+		}
+		if c > first {
+			first = c
+		}
+	}
+
+	// Steady-state per-iteration time with pipeline overlap: self-repeat
+	// each path to a fix-point, join the normalized exit states of all
+	// paths into a single pessimistic entry state, and re-time each path
+	// from that state. The join is a componentwise upper bound of any
+	// reachable inter-iteration state, so the resulting delta is safe for
+	// arbitrary path interleavings.
+	steady := int64(0)
+	join := simple.State{}
+	for _, p := range pv.body {
+		eng, _ := a.engine(pen, missSteady(a))
+		prev := int64(0)
+		for rep := 0; rep < 4; rep++ {
+			if _, err := a.runPath(eng, fg, p, pen, false); err != nil {
+				return 0, err
+			}
+			delta := eng.Now() - prev
+			prev = eng.Now()
+			if rep > 0 && delta > steady {
+				steady = delta
+			}
+		}
+		join = join.Join(eng.State().Shifted(-eng.Now()))
+	}
+	for _, p := range pv.body {
+		eng, ic := a.engine(pen, missSteady(a))
+		ic.reset(missSteady(a))
+		eng.SetState(join)
+		if _, err := a.runPath(eng, fg, p, pen, false); err != nil {
+			return 0, err
+		}
+		if eng.Now() > steady {
+			steady = eng.Now()
+		}
+	}
+
+	// Worst exit path from the joined steady state.
+	exit := int64(0)
+	for _, p := range pv.exit {
+		eng, _ := a.engine(pen, missSteady(a))
+		eng.SetState(join)
+		if _, err := a.runPath(eng, fg, p, pen, false); err != nil {
+			return 0, err
+		}
+		if eng.Now() > exit {
+			exit = eng.Now()
+		}
+	}
+
+	total := first + int64(l.Bound-1)*steady + exit
+	a.sumMemo[key] = total
+	return total, nil
+}
+
+// fnTotal returns the cold WCET of one invocation of fn, from its entry to
+// any return.
+func (a *Analyzer) fnTotal(fn string, pen int64) (int64, error) {
+	key := fnKey{fn, pen}
+	if v, ok := a.fnMemo[key]; ok {
+		return v, nil
+	}
+	fg := a.Graph.Funcs[fn]
+	if fg == nil {
+		return 0, fmt.Errorf("wcet: unknown function %s", fn)
+	}
+	paths, err := a.regionPaths(fg, fg.Fn.Start, false)
+	if err != nil {
+		return 0, err
+	}
+	worst := int64(0)
+	for _, p := range paths {
+		c, err := a.simPath(fg, p, pen, missAlwaysCold(a))
+		if err != nil {
+			return 0, err
+		}
+		if c > worst {
+			worst = c
+		}
+	}
+	a.fnMemo[key] = worst
+	return worst, nil
+}
+
+func (a *Analyzer) pathsOf(fg *cfg.FuncGraph, l *cfg.Loop) (loopPathsVal, error) {
+	key := loopKey{fg.Fn.Name, l.ID}
+	if v, ok := a.pathsMemo[key]; ok {
+		return v, nil
+	}
+	body, exit, err := a.loopPaths(fg, l)
+	if err != nil {
+		return loopPathsVal{}, err
+	}
+	v := loopPathsVal{body: body, exit: exit}
+	a.pathsMemo[key] = v
+	return v, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

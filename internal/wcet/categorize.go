@@ -1,0 +1,176 @@
+// Package wcet implements the static worst-case execution time analyzer of
+// paper §3.3: static instruction-cache analysis producing the caching
+// categorizations of Table 2, path-based pipeline analysis on the VISA
+// timing model with a fix-point per loop, and bottom-up composition over
+// the timing-analysis tree (loops, then functions, then the whole task),
+// yielding per-sub-task WCETs at every DVS operating point.
+//
+// The pipeline rules are not re-implemented: the analyzer drives the very
+// same timing engine the simulators use (internal/simple), substituting a
+// categorization-driven cache model. Conservatism therefore comes only from
+// path analysis (always the longest path), cache classification (unknown =>
+// miss), and drained-pipeline composition at summary boundaries.
+//
+// Like the paper (§3.3), data-cache misses are handled by padding: the
+// analyzer accepts a per-sub-task worst-case D-cache miss count obtained
+// from profiling on the simple pipeline and charges each miss the full
+// memory latency.
+package wcet
+
+import (
+	"visa/internal/cache"
+	"visa/internal/cfg"
+	"visa/internal/isa"
+)
+
+// Category is a caching categorization (paper Table 2). FirstHit does not
+// arise under persistence-based classification: an access that would be
+// first-hit is classified first-miss at an outer scope instead, which is
+// safe (see DESIGN.md).
+type Category uint8
+
+// Categorizations.
+const (
+	// AlwaysMiss: not guaranteed cached at any access.
+	AlwaysMiss Category = iota
+	// FirstMiss: misses at most once per entry of its Scope, cached after.
+	FirstMiss
+	// AlwaysHit: guaranteed cached (same block already accessed on every
+	// path; handled dynamically by the block-transition model).
+	AlwaysHit
+)
+
+func (c Category) String() string {
+	switch c {
+	case AlwaysMiss:
+		return "m"
+	case FirstMiss:
+		return "fm"
+	default:
+		return "h"
+	}
+}
+
+// ICat is one instruction's classification. For FirstMiss, ScopeFn/ScopeLoop
+// identify the outermost scope within which the block is persistent:
+// LoopID == -1 means the whole function.
+type ICat struct {
+	Cat     Category
+	ScopeFn string
+	LoopID  int
+}
+
+// categorize classifies every instruction's I-cache behaviour using
+// persistence analysis: within a scope (function body or loop), if every
+// cache set is touched by at most `assoc` distinct blocks, then each block
+// misses at most once per scope entry — the abstract-cache-state may-analysis
+// conclusion for programs whose scope working sets fit, which holds for
+// WCET-style codes by construction.
+func categorize(g *cfg.Graph, cc cache.Config) []ICat {
+	prog := g.Prog
+	cats := make([]ICat, len(prog.Code))
+	blockOf := func(pc int) uint32 { return isa.InstAddr(pc) / uint32(cc.BlockBytes) }
+	setOf := func(b uint32) uint32 { return b % uint32(cc.Sets()) }
+
+	// touchedBlocks(fn) = code blocks of fn plus everything it calls,
+	// computed callees-first.
+	touched := map[string]map[uint32]bool{}
+	for _, name := range g.CallOrder {
+		fg := g.Funcs[name]
+		set := map[uint32]bool{}
+		for pc := fg.Fn.Start; pc < fg.Fn.End; pc++ {
+			set[blockOf(pc)] = true
+		}
+		for _, b := range fg.Blocks {
+			if b.CallTo != "" {
+				for blk := range touched[b.CallTo] {
+					set[blk] = true
+				}
+			}
+		}
+		touched[name] = set
+	}
+
+	fits := func(set map[uint32]bool) bool {
+		perSet := map[uint32]int{}
+		for b := range set {
+			perSet[setOf(b)]++
+			if perSet[setOf(b)] > cc.Assoc {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, name := range g.CallOrder {
+		fg := g.Funcs[name]
+		fnFits := fits(touched[name])
+
+		// Per-loop working sets (loop blocks plus callees invoked inside).
+		loopFits := make([]bool, len(fg.Loops))
+		for _, l := range fg.Loops {
+			set := map[uint32]bool{}
+			for bid := range l.Blocks {
+				b := fg.Blocks[bid]
+				for pc := b.Start; pc < b.End; pc++ {
+					set[blockOf(pc)] = true
+				}
+				if b.CallTo != "" {
+					for blk := range touched[b.CallTo] {
+						set[blk] = true
+					}
+				}
+			}
+			loopFits[l.ID] = fits(set)
+		}
+
+		for _, b := range fg.Blocks {
+			for pc := b.Start; pc < b.End; pc++ {
+				switch {
+				case fnFits:
+					cats[pc] = ICat{Cat: FirstMiss, ScopeFn: name, LoopID: -1}
+				default:
+					// Outermost fitting loop on the nesting chain.
+					chosen := -1
+					for l := b.Loop; l != -1; l = fg.Loops[l].Parent {
+						if loopFits[l] {
+							chosen = l
+						}
+					}
+					if chosen >= 0 {
+						cats[pc] = ICat{Cat: FirstMiss, ScopeFn: name, LoopID: chosen}
+					} else {
+						cats[pc] = ICat{Cat: AlwaysMiss}
+					}
+				}
+			}
+		}
+	}
+	return cats
+}
+
+// scopeContains reports whether the FirstMiss scope of cat strictly
+// contains loop l of function fn (or equals the function scope), i.e. the
+// miss budget belongs to an enclosing scope.
+func scopeOutside(cat ICat, fn string, l *cfg.Loop, fg *cfg.FuncGraph) bool {
+	if cat.ScopeFn != fn {
+		// Scope in a caller: from the callee's perspective, outside.
+		return true
+	}
+	if cat.LoopID == -1 {
+		return true // function scope contains every loop
+	}
+	if l == nil {
+		return false // current scope is the whole function; nothing is outside
+	}
+	if cat.LoopID == l.ID {
+		return false
+	}
+	// Walk up from l: if cat's loop is an ancestor, it is outside l.
+	for p := l.Parent; p != -1; p = fg.Loops[p].Parent {
+		if p == cat.LoopID {
+			return true
+		}
+	}
+	return false
+}

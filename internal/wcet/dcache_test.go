@@ -1,0 +1,159 @@
+package wcet
+
+import (
+	"testing"
+
+	"visa/internal/clab"
+	"visa/internal/minic"
+)
+
+// TestStaticDCacheSafety: the static data-cache pad must cover what
+// profiling observes, for every benchmark and a spread of inputs — the same
+// headline invariant as the I-cache side, without any trace input.
+func TestStaticDCacheSafety(t *testing.T) {
+	seeds := []int32{0, 31337, -9}
+	for _, b := range clab.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog := b.MustProgram()
+			an, err := New(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := an.UseStaticDCache()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Fits {
+				t.Fatalf("benchmark data (%dB + %dB stack) should fit the 64KB D-cache", res.DataBytes, res.StackBytes)
+			}
+			if res.Blocks <= 0 {
+				t.Fatal("no touched blocks derived")
+			}
+			static, err := an.Analyze(1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, seed := range seeds {
+				durs, _, total := profileSimple(t, prog, seed, 1000)
+				if static.Total < total {
+					t.Errorf("seed %d: static-D WCET %d < actual %d (UNSAFE)", seed, static.Total, total)
+				}
+				for i, d := range durs {
+					if static.SubTasks[i] < d {
+						t.Errorf("seed %d sub-task %d: %d < %d (UNSAFE)", seed, i, static.SubTasks[i], d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStaticDCacheVsProfilePad: the static pad is safe but looser than the
+// trace-derived pad (why the paper kept profile padding for tightness).
+func TestStaticDCacheVsProfilePad(t *testing.T) {
+	prog := clab.ByName("adpcm").MustProgram()
+
+	anProfile, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dm, _ := profileSimple(t, prog, 0, 1000)
+	if err := anProfile.SetDCachePad(dm); err != nil {
+		t.Fatal(err)
+	}
+	profRes, err := anProfile.Analyze(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	anStatic, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := anStatic.UseStaticDCache(); err != nil {
+		t.Fatal(err)
+	}
+	statRes, err := anStatic.Analyze(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if statRes.Total < profRes.Total {
+		t.Errorf("static bound %d below profile bound %d: static analysis must dominate the observed pad",
+			statRes.Total, profRes.Total)
+	}
+	if float64(statRes.Total) > 2.5*float64(profRes.Total) {
+		t.Errorf("static bound %d unreasonably loose vs %d", statRes.Total, profRes.Total)
+	}
+}
+
+// TestStaticDCacheDegradesWhenTooBig: a data set larger than the cache must
+// degrade to always-miss data references — a larger, still-safe bound.
+func TestStaticDCacheDegradesWhenTooBig(t *testing.T) {
+	// 80KB of int arrays exceeds the 64KB D-cache.
+	prog := minic.MustCompile("big.c", `
+int a[10000];
+int b[10000];
+void main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 64; i = i + 1) {
+		s = s + a[i * 300] + b[i * 300];
+	}
+	__out(s);
+}`)
+	an, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := an.Analyze(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.UseStaticDCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fits {
+		t.Fatal("80KB working set reported as fitting a 64KB cache")
+	}
+	degraded, err := an.Analyze(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every one of the ~128 loads now costs the 100-cycle penalty.
+	if degraded.Total < baseline.Total+100*100 {
+		t.Errorf("degraded bound %d not clearly above baseline %d", degraded.Total, baseline.Total)
+	}
+}
+
+// TestWorstStackBytes: nested calls accumulate frame sizes.
+func TestWorstStackBytes(t *testing.T) {
+	prog := minic.MustCompile("stack.c", `
+int leaf(int x) {
+	int a = x * 2;
+	return a;
+}
+int mid(int x) {
+	int a = leaf(x);
+	int b = leaf(x + 1);
+	return a + b;
+}
+void main() {
+	__out(mid(3));
+}`)
+	an, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := an.worstStackBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main + mid + leaf frames plus two levels of call slack: must be at
+	// least three minimal frames (16B each) and bounded by a sane cap.
+	if stack < 3*16 || stack > 4096 {
+		t.Errorf("worst stack = %d bytes, outside sane range", stack)
+	}
+}

@@ -1,0 +1,244 @@
+package wcet
+
+import (
+	"fmt"
+
+	"visa/internal/cfg"
+	"visa/internal/isa"
+)
+
+// maxPaths bounds path enumeration per scope. WCET-style code keeps path
+// counts small by construction; exceeding the cap is a hard error rather
+// than a silent approximation.
+const maxPaths = 16384
+
+// step is one element of an execution path: a concrete instruction (with
+// its branch direction on this path), an inner-loop summary, or a callee
+// summary. Loop and call summaries are timed as drained-pipeline segments.
+type step struct {
+	pc     int
+	taken  bool
+	loop   int    // inner loop ID to summarize, or -1
+	callee string // callee function to summarize, or ""
+}
+
+// pathKind distinguishes how a path ends.
+type pathKind uint8
+
+const (
+	pathBody   pathKind = iota // loop body: header back to a back edge
+	pathExit                   // loop header/body to an exit edge
+	pathRegion                 // region: start to next MARK / return / halt
+)
+
+type path struct {
+	steps []step
+	kind  pathKind
+}
+
+// enumerator performs the DFS path walks.
+type enumerator struct {
+	a     *Analyzer
+	fg    *cfg.FuncGraph
+	loop  *cfg.Loop // nil for function top level
+	stop  func(pc int) bool
+	out   []path
+	stack []step
+}
+
+func (e *enumerator) emit(kind pathKind) error {
+	if len(e.out) >= maxPaths {
+		return fmt.Errorf("wcet: %s: more than %d paths in one scope", e.fg.Fn.Name, maxPaths)
+	}
+	e.out = append(e.out, path{steps: append([]step(nil), e.stack...), kind: kind})
+	return nil
+}
+
+func (e *enumerator) push(s step) { e.stack = append(e.stack, s) }
+func (e *enumerator) popTo(n int) { e.stack = e.stack[:n] }
+
+// walkBlock appends block b's instructions starting at fromPC and recurses
+// into successors. It returns an error only for structural problems.
+func (e *enumerator) walkBlock(bid, fromPC int) error {
+	b := e.fg.Blocks[bid]
+	mark := len(e.stack)
+	defer e.popTo(mark)
+
+	prog := e.fg.Prog
+	for pc := fromPC; pc < b.End; pc++ {
+		if e.stop != nil && e.stop(pc) {
+			// Region boundary: the next MARK starts the next sub-task.
+			return e.emit(pathRegion)
+		}
+		e.push(step{pc: pc, loop: -1})
+	}
+	last := prog.Code[b.LastPC()]
+
+	// Terminal instructions.
+	if last.Op == isa.HALT || last.Op == isa.JR || last.Op == isa.JALR {
+		if e.loop != nil {
+			return e.emit(pathExit)
+		}
+		return e.emit(pathRegion)
+	}
+
+	// Calls: the callee runs between the JAL and the fall-through block.
+	if b.CallTo != "" {
+		e.stack[len(e.stack)-1].taken = true // the JAL itself
+		e.push(step{pc: b.LastPC(), loop: -1, callee: b.CallTo})
+		if len(b.Succs) == 0 {
+			if e.loop != nil {
+				return e.emit(pathExit)
+			}
+			return e.emit(pathRegion)
+		}
+		return e.follow(b.Succs[0], b)
+	}
+
+	if len(b.Succs) == 0 {
+		if e.loop != nil {
+			return e.emit(pathExit)
+		}
+		return e.emit(pathRegion)
+	}
+
+	for _, s := range b.Succs {
+		// Record the branch direction this successor implies.
+		if last.Op.IsCondBranch() {
+			e.stack[len(e.stack)-1].taken = e.fg.Blocks[s].Start == int(last.Imm)
+		} else if last.Op == isa.J || last.Op == isa.JAL {
+			e.stack[len(e.stack)-1].taken = true
+		}
+		if err := e.follow(s, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// follow continues the walk into successor block sid.
+func (e *enumerator) follow(sid int, from *cfg.Block) error {
+	mark := len(e.stack)
+	defer e.popTo(mark)
+
+	// Loop-context transitions.
+	if e.loop != nil {
+		if sid == e.loop.Header {
+			return e.emit(pathBody) // back edge
+		}
+		if !e.loop.Blocks[sid] {
+			return e.emit(pathExit)
+		}
+	}
+	// Entering an inner loop?
+	if inner := e.innerLoopAt(sid); inner != nil {
+		e.push(step{pc: e.fg.Blocks[sid].Start, loop: inner.ID})
+		for _, t := range e.loopExitTargets(inner) {
+			if e.loop != nil {
+				if t == e.loop.Header {
+					if err := e.emit(pathBody); err != nil {
+						return err
+					}
+					continue
+				}
+				if !e.loop.Blocks[t] {
+					if err := e.emit(pathExit); err != nil {
+						return err
+					}
+					continue
+				}
+			}
+			if err := e.walkBlock(t, e.fg.Blocks[t].Start); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return e.walkBlock(sid, e.fg.Blocks[sid].Start)
+}
+
+// innerLoopAt returns the loop headed at block sid that is an immediate
+// sub-loop of the current context (or a top-level loop when the context is
+// the function), if any.
+func (e *enumerator) innerLoopAt(sid int) *cfg.Loop {
+	var best *cfg.Loop
+	for _, l := range e.fg.Loops {
+		if l.Header != sid || l == e.loop {
+			continue
+		}
+		if e.loop != nil && !e.loop.Blocks[sid] {
+			continue
+		}
+		// Outermost loop headed here within the context.
+		if best == nil || len(l.Blocks) > len(best.Blocks) {
+			best = l
+		}
+	}
+	return best
+}
+
+// loopExitTargets lists the distinct blocks execution can reach when loop l
+// terminates, in deterministic order.
+func (e *enumerator) loopExitTargets(l *cfg.Loop) []int {
+	seen := map[int]bool{}
+	var out []int
+	for bid := range l.Blocks {
+		for _, s := range e.fg.Blocks[bid].Succs {
+			if !l.Blocks[s] && !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// loopPaths enumerates body and exit paths of loop l, starting at its
+// header.
+func (a *Analyzer) loopPaths(fg *cfg.FuncGraph, l *cfg.Loop) (body, exit []path, err error) {
+	e := &enumerator{a: a, fg: fg, loop: l}
+	hb := fg.Blocks[l.Header]
+	if err := e.walkBlock(l.Header, hb.Start); err != nil {
+		return nil, nil, err
+	}
+	for _, p := range e.out {
+		switch p.kind {
+		case pathBody:
+			body = append(body, p)
+		case pathExit:
+			exit = append(exit, p)
+		default:
+			return nil, nil, fmt.Errorf("wcet: %s: sub-task MARK inside a loop is not supported", fg.Fn.Name)
+		}
+	}
+	if len(body) == 0 {
+		return nil, nil, fmt.Errorf("wcet: %s: loop at pc %d has no body path", fg.Fn.Name, hb.Start)
+	}
+	return body, exit, nil
+}
+
+// regionPaths enumerates paths from startPC to the next MARK boundary (when
+// stopAtMarks), a return, or a halt, at the top level of the function.
+func (a *Analyzer) regionPaths(fg *cfg.FuncGraph, startPC int, stopAtMarks bool) ([]path, error) {
+	var stop func(int) bool
+	if stopAtMarks {
+		stop = func(pc int) bool {
+			return pc != startPC && fg.Prog.Code[pc].Op == isa.MARK
+		}
+	}
+	e := &enumerator{a: a, fg: fg, stop: stop}
+	b := fg.BlockAt(startPC)
+	if err := e.walkBlock(b.ID, startPC); err != nil {
+		return nil, err
+	}
+	return e.out, nil
+}
