@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build tier1 tier2 vet fmt-check race test clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Tier 1: the gate every change must keep green.
+tier1: build
+	$(GO) test ./...
+
+# Tier 2: static hygiene plus race-detector runs over the runtime-critical
+# packages (the core protocol and the RT scheduler exercise goroutines).
+tier2: vet fmt-check race
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/rt/...
+
+test: tier1
+
+clean:
+	$(GO) clean ./...

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wcet [-mhz 1000] [-sweep] [-categories] (-bench name | file.c)
+//	wcet [-mhz 1000] [-sweep] [-categories] [-verify-bounds] (-bench name | file.c)
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"visa/internal/absint"
 	"visa/internal/clab"
 	"visa/internal/core"
 	"visa/internal/isa"
@@ -25,6 +26,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "analyze at all 37 DVS operating points")
 	cats := flag.Bool("categories", false, "print the caching categorization summary (Table 2)")
 	bundle := flag.String("bundle", "", "write a timing-safe task bundle (program + WCET table, §1.2) to this path")
+	verify := flag.Bool("verify-bounds", false, "validate #bound annotations with the value analysis and use derived bounds and path pruning")
 	flag.Parse()
 
 	var prog *isa.Program
@@ -47,9 +49,24 @@ func main() {
 		fatal(err)
 	}
 
-	an, err := wcet.New(prog)
-	if err != nil {
-		fatal(err)
+	var an *wcet.Analyzer
+	if *verify {
+		var findings []absint.BoundFinding
+		an, findings, err = wcet.NewWithValueAnalysis(prog)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range findings {
+			if f.Status != absint.BoundOK {
+				fmt.Printf("bound %v\n", f)
+			}
+		}
+		fmt.Printf("verified %d loop bounds\n", len(findings))
+	} else {
+		an, err = wcet.New(prog)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	if *bundle != "" {

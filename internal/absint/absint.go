@@ -1,0 +1,438 @@
+package absint
+
+import (
+	"visa/internal/cfg"
+	"visa/internal/isa"
+)
+
+type edgeKey struct{ from, to int }
+
+type argAcc struct {
+	seen bool
+	vals [4]Val
+}
+
+type analyzer struct {
+	g       *cfg.Graph
+	prog    *isa.Program
+	argJoin map[string]*argAcc
+	dataEnd int64 // first byte past the initialized data segment
+}
+
+// funcAnalysis carries the per-function fixpoint over the full CFG; the
+// bound-derivation pass reuses its transfer function through scoped runs.
+type funcAnalysis struct {
+	an       *analyzer
+	fg       *cfg.FuncGraph
+	entry    state
+	isHeader []bool
+	inLoop   [][]bool // loop ID -> block membership
+
+	// Full-graph fixpoint results.
+	edges map[edgeKey]*state // nil = edge proven infeasible
+	in    []state
+	inSet []bool
+
+	rec *FuncReport // non-nil only during the record pass
+}
+
+// Analyze runs the interval analysis over every function of the graph.
+// Functions are visited callers-first so call-site argument values seed
+// callee entry states. Loop #bound annotations are not consulted; the
+// graph may come from cfg.BuildWithOptions with AllowMissingBounds.
+func Analyze(g *cfg.Graph) *Report {
+	an := &analyzer{
+		g:       g,
+		prog:    g.Prog,
+		argJoin: map[string]*argAcc{},
+		dataEnd: int64(isa.DataBase) + int64(len(g.Prog.Data)),
+	}
+	rep := &Report{Funcs: make(map[string]*FuncReport, len(g.Funcs))}
+	// CallOrder lists callees first; walk it backwards for callers-first.
+	for i := len(g.CallOrder) - 1; i >= 0; i-- {
+		name := g.CallOrder[i]
+		rep.Funcs[name] = an.analyzeFunc(g.Funcs[name])
+	}
+	return rep
+}
+
+func (an *analyzer) analyzeFunc(fg *cfg.FuncGraph) *FuncReport {
+	n := len(fg.Blocks)
+	fa := &funcAnalysis{
+		an:       an,
+		fg:       fg,
+		entry:    an.entryState(fg.Fn.Name),
+		isHeader: make([]bool, n),
+		inLoop:   make([][]bool, len(fg.Loops)),
+		edges:    map[edgeKey]*state{},
+		in:       make([]state, n),
+		inSet:    make([]bool, n),
+	}
+	for _, l := range fg.Loops {
+		fa.isHeader[l.Header] = true
+		member := make([]bool, n)
+		for bid := range l.Blocks {
+			member[bid] = true
+		}
+		fa.inLoop[l.ID] = member
+	}
+
+	fa.fixpoint()
+	fa.narrow()
+
+	rep := &FuncReport{
+		Name:      fg.Fn.Name,
+		Reachable: make([]bool, n),
+		DeadEdges: map[Edge]bool{},
+		LoopBound: make(map[int]int, len(fg.Loops)),
+		Writes:    map[int]Val{},
+		Addrs:     map[int]Access{},
+	}
+	fa.record(rep)
+	for _, l := range fg.Loops {
+		rep.LoopBound[l.ID] = fa.deriveBound(l)
+	}
+	return rep
+}
+
+// entryState is the abstract state at function entry: SP is the symbolic
+// frame base, r0 is zero, argument registers come from the join over all
+// analyzed call sites, and everything else (including all memory) is Top.
+func (an *analyzer) entryState(fnName string) state {
+	st := newState()
+	st.regs[isa.RegSP] = Val{I: Single(0), SPRel: true}
+	if acc, ok := an.argJoin[fnName]; ok && acc.seen {
+		for i, v := range acc.vals {
+			st.regs[isa.RegArg0+i] = v
+		}
+	}
+	return st
+}
+
+// scope parameterizes one worklist run: the full function graph for the
+// main fixpoint, or a single loop body for bound derivation.
+type scope struct {
+	include func(bid int) bool
+	entry   int
+	// entrySt contributes to (pinned=false) or replaces (pinned=true) the
+	// in-state of the entry block.
+	entrySt *state
+	pinned  bool
+	// divert intercepts an edge before it lands: returning true consumes
+	// it (back edges and loop exits during derivation).
+	divert  func(from, to int, st *state) bool
+	widenAt func(bid int) bool
+	budget  *int // nil = unlimited; counts block transfers
+	edges   map[edgeKey]*state
+	in      []state
+	inSet   []bool
+}
+
+// joinIn computes a block's in-state from incoming edges (and the scope
+// entry contribution). live=false means the block is unreachable.
+func (fa *funcAnalysis) joinIn(sc *scope, bid int) state {
+	if sc.pinned && bid == sc.entry {
+		return sc.entrySt.clone()
+	}
+	var acc state
+	if bid == sc.entry && sc.entrySt != nil {
+		acc = sc.entrySt.clone()
+	}
+	for _, p := range fa.fg.Blocks[bid].Preds {
+		if !sc.include(p) {
+			continue
+		}
+		st, ok := sc.edges[edgeKey{p, bid}]
+		if !ok || st == nil {
+			continue
+		}
+		if !acc.live {
+			acc = st.clone()
+		} else {
+			acc = acc.join(st)
+		}
+	}
+	return acc
+}
+
+// run drives a worklist to fixpoint inside the scope. When a run overstays
+// its welcome every block becomes a widening point, which forces strictly
+// ascending in-states and hence termination. Returns false only when the
+// scope budget is exhausted.
+func (fa *funcAnalysis) run(sc *scope) bool {
+	n := len(fa.fg.Blocks)
+	visits := make([]int, n)
+	dirty := make([]bool, n)
+	dirty[sc.entry] = true
+	steps, softCap := 0, 256*(n+4)
+	widenAll := false
+	for {
+		progressed := false
+		for bid := 0; bid < n; bid++ {
+			if !dirty[bid] || !sc.include(bid) {
+				dirty[bid] = false
+				continue
+			}
+			dirty[bid] = false
+			in := fa.joinIn(sc, bid)
+			if !in.live {
+				continue
+			}
+			if widenAll || sc.widenAt(bid) {
+				visits[bid]++
+				if sc.inSet[bid] && (widenAll || visits[bid] > widenDelay) {
+					in = sc.in[bid].widenFrom(&in)
+				}
+			}
+			if sc.inSet[bid] && sc.in[bid].eq(&in) {
+				continue
+			}
+			sc.in[bid] = in
+			sc.inSet[bid] = true
+			if sc.budget != nil {
+				if *sc.budget <= 0 {
+					return false
+				}
+				*sc.budget--
+			}
+			steps++
+			work := in.clone()
+			fa.transfer(bid, &work, func(to int, st *state) {
+				if sc.divert != nil && sc.divert(bid, to, st) {
+					return
+				}
+				if !sc.include(to) {
+					return
+				}
+				k := edgeKey{bid, to}
+				old, seen := sc.edges[k]
+				if seen && stateEq(old, st) {
+					return
+				}
+				sc.edges[k] = st
+				dirty[to] = true
+				progressed = true
+			})
+		}
+		if !progressed {
+			return true
+		}
+		if steps > softCap {
+			widenAll = true
+		}
+	}
+}
+
+func stateEq(a, b *state) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.eq(b)
+}
+
+func (fa *funcAnalysis) all(int) bool { return true }
+
+func (fa *funcAnalysis) mainScope() *scope {
+	return &scope{
+		include: fa.all,
+		entry:   fa.fg.Entry,
+		entrySt: &fa.entry,
+		widenAt: func(bid int) bool { return fa.isHeader[bid] },
+		edges:   fa.edges,
+		in:      fa.in,
+		inSet:   fa.inSet,
+	}
+}
+
+func (fa *funcAnalysis) fixpoint() {
+	fa.run(fa.mainScope())
+}
+
+// narrow refines the post-widening solution with three decreasing sweeps.
+// Each sweep recomputes every in-state and out-edge from scratch; a single
+// application of the sound transfer to a sound assignment stays sound, so
+// no fixpoint property is needed for the result to be safe. Three sweeps
+// let a refinement at a loop header travel header -> body -> back-edge and
+// land back at the header.
+func (fa *funcAnalysis) narrow() {
+	sc := fa.mainScope()
+	n := len(fa.fg.Blocks)
+	for round := 0; round < 3; round++ {
+		for bid := 0; bid < n; bid++ {
+			in := fa.joinIn(sc, bid)
+			fa.in[bid] = in
+			fa.inSet[bid] = true
+			if !in.live {
+				continue
+			}
+			work := in.clone()
+			fa.transfer(bid, &work, func(to int, st *state) {
+				fa.edges[edgeKey{bid, to}] = st
+			})
+		}
+	}
+}
+
+// record replays each reachable block once against its final in-state,
+// capturing per-pc written values, access address ranges, call-site
+// arguments, and the edges proven infeasible.
+func (fa *funcAnalysis) record(rep *FuncReport) {
+	fa.rec = rep
+	for bid := range fa.fg.Blocks {
+		in := fa.in[bid]
+		if !in.live {
+			continue
+		}
+		rep.Reachable[bid] = true
+		work := in.clone()
+		fa.transfer(bid, &work, func(int, *state) {})
+	}
+	fa.rec = nil
+	for _, b := range fa.fg.Blocks {
+		if !rep.Reachable[b.ID] {
+			continue
+		}
+		for _, s := range b.Succs {
+			if st, ok := fa.edges[edgeKey{b.ID, s}]; ok && st == nil {
+				rep.DeadEdges[Edge{From: b.ID, To: s}] = true
+			}
+		}
+	}
+}
+
+// transfer interprets one basic block and emits an abstract state (or nil
+// for a proven-infeasible direction) per unique successor.
+func (fa *funcAnalysis) transfer(bid int, st *state, emit func(to int, st *state)) {
+	b := fa.fg.Blocks[bid]
+	prog := fa.an.prog
+	for pc := b.Start; pc < b.End-1; pc++ {
+		fa.step(st, pc)
+	}
+	lastPC := b.End - 1
+	last := prog.Code[lastPC]
+	switch {
+	case last.Op.BranchCond() != isa.CondNone:
+		// Succs order mirrors cfg.buildFunc: taken target first, then the
+		// fallthrough (when present). A branch targeting its own
+		// fallthrough yields two entries for one block; joining per
+		// target keeps both directions covered.
+		outs := map[int]*state{}
+		add := func(to int, es *state) {
+			cur, seen := outs[to]
+			switch {
+			case !seen:
+				outs[to] = es
+			case cur == nil:
+				outs[to] = es
+			case es != nil:
+				j := cur.join(es)
+				outs[to] = &j
+			}
+		}
+		for i, s := range b.Succs {
+			taken := i == 0
+			es, feasible := fa.refineEdge(st, last, taken)
+			if !feasible {
+				add(s, nil)
+				continue
+			}
+			add(s, &es)
+		}
+		for t, os := range outs {
+			emit(t, os)
+		}
+	case last.Op == isa.JAL:
+		fa.step(st, lastPC)
+		fa.postCall(st, b.CallTo)
+		for _, s := range b.Succs {
+			out := st.clone()
+			emit(s, &out)
+		}
+	case last.Op == isa.J:
+		for _, s := range b.Succs {
+			out := st.clone()
+			emit(s, &out)
+		}
+	case last.Op == isa.JR || last.Op == isa.JALR || last.Op == isa.HALT:
+		fa.step(st, lastPC) // JALR writes a link register
+	default:
+		// Block ended at a leader boundary; the last instruction is plain.
+		fa.step(st, lastPC)
+		for _, s := range b.Succs {
+			out := st.clone()
+			emit(s, &out)
+		}
+	}
+}
+
+// refineEdge narrows the operand registers of a conditional branch along
+// one direction, or reports the direction infeasible.
+func (fa *funcAnalysis) refineEdge(st *state, inst isa.Inst, taken bool) (state, bool) {
+	c := inst.Op.BranchCond()
+	if !taken {
+		c = c.Negated()
+	}
+	rs, rt := int(inst.Rs), int(inst.Rt)
+	if rs == rt {
+		// Identical operands: EQ/GE always hold, NE/LT never do.
+		if c == isa.CondEQ || c == isa.CondGE {
+			return st.clone(), true
+		}
+		return state{}, false
+	}
+	a, b := st.getReg(rs), st.getReg(rt)
+	if a.SPRel != b.SPRel {
+		return st.clone(), true // incomparable bases: nothing to refine
+	}
+	if holds, known := decide(c, a.I, b.I); known {
+		if !holds {
+			return state{}, false
+		}
+	}
+	na, nb, ok := refine(c, a.I, b.I)
+	if !ok {
+		return state{}, false
+	}
+	out := st.clone()
+	out.refineReg(rs, Val{I: na, SPRel: a.SPRel})
+	out.refineReg(rt, Val{I: nb, SPRel: b.SPRel})
+	return out, true
+}
+
+// postCall applies the call-boundary contract after a JAL: the callee (and
+// its transitive callees) may write any global and any stack slot below the
+// caller's current SP, and clobbers every register except r0, SP and FP
+// (the mini-C ABI restores SP exactly and preserves FP via save/restore).
+func (fa *funcAnalysis) postCall(st *state, callee string) {
+	if fa.rec != nil && callee != "" {
+		acc := fa.an.argJoin[callee]
+		if acc == nil {
+			acc = &argAcc{}
+			fa.an.argJoin[callee] = acc
+		}
+		for i := 0; i < 4; i++ {
+			v := st.getReg(isa.RegArg0 + i)
+			if v.SPRel {
+				v = top() // caller frame base is meaningless in the callee
+			}
+			if acc.seen {
+				acc.vals[i] = acc.vals[i].join(v)
+			} else {
+				acc.vals[i] = v
+			}
+		}
+		acc.seen = true
+	}
+	sp := st.getReg(isa.RegSP)
+	spKnown := sp.SPRel
+	for r := 1; r < 32; r++ {
+		if r == isa.RegSP || r == isa.RegFP {
+			continue
+		}
+		st.regs[r] = top()
+	}
+	st.clearOrigins()
+	st.dropCells(func(k cell) bool {
+		return k.sp && spKnown && k.addr >= sp.I.Hi
+	})
+}

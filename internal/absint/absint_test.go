@@ -1,0 +1,260 @@
+package absint
+
+import (
+	"strings"
+	"testing"
+
+	"visa/internal/cfg"
+	"visa/internal/clab"
+	"visa/internal/isa"
+	"visa/internal/minic"
+)
+
+func buildGraph(t *testing.T, prog *isa.Program) *cfg.Graph {
+	t.Helper()
+	g, err := cfg.BuildWithOptions(prog, cfg.Options{AllowMissingBounds: true})
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return g
+}
+
+func compile(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	prog, err := minic.Compile(t.Name(), src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := Interval{3, 10}
+	b := Interval{-2, 4}
+	if j := a.Join(b); j != (Interval{-2, 10}) {
+		t.Errorf("join = %v", j)
+	}
+	if m, ok := a.Meet(b); !ok || m != (Interval{3, 4}) {
+		t.Errorf("meet = %v %v", m, ok)
+	}
+	if _, ok := (Interval{5, 9}).Meet(Interval{10, 12}); ok {
+		t.Error("disjoint meet should fail")
+	}
+	// Widening walks the landmark ladder: 0 first, then +-2^16, +-2^28,
+	// and only then the type extreme.
+	w := (Interval{3, 10}).Widen(Interval{1, 10})
+	if w != (Interval{0, 10}) {
+		t.Errorf("widen lo to zero landmark: %v", w)
+	}
+	w = (Interval{0, 10}).Widen(Interval{-1, 10})
+	if w != (Interval{-(1 << 16), 10}) {
+		t.Errorf("widen lo to first negative rung: %v", w)
+	}
+	w = (Interval{3, 10}).Widen(Interval{3, 11})
+	if w != (Interval{3, 1 << 16}) {
+		t.Errorf("widen hi to first positive rung: %v", w)
+	}
+	w = (Interval{3, 1 << 16}).Widen(Interval{3, 1<<16 + 1})
+	if w != (Interval{3, 1 << 28}) {
+		t.Errorf("widen hi to second rung: %v", w)
+	}
+	w = (Interval{3, 1 << 28}).Widen(Interval{3, 1<<28 + 1})
+	if w != (Interval{3, maxI32}) {
+		t.Errorf("widen hi to extreme: %v", w)
+	}
+}
+
+func TestDecideRefine(t *testing.T) {
+	if holds, known := decide(isa.CondLT, Interval{0, 4}, Interval{5, 9}); !known || !holds {
+		t.Error("0..4 < 5..9 should be decided true")
+	}
+	if holds, known := decide(isa.CondLT, Interval{5, 9}, Interval{0, 5}); !known || holds {
+		t.Error("5..9 < 0..5 should be decided false")
+	}
+	if _, known := decide(isa.CondEQ, Interval{0, 4}, Interval{4, 9}); known {
+		t.Error("overlapping EQ must stay unknown")
+	}
+	na, nb, ok := refine(isa.CondLT, Interval{0, 100}, Interval{0, 10})
+	if !ok || na != (Interval{0, 9}) || nb != (Interval{1, 10}) {
+		t.Errorf("LT refine: %v %v %v", na, nb, ok)
+	}
+	na, _, ok = refine(isa.CondGE, Interval{minI32, maxI32}, Interval{7, 7})
+	if !ok || na.Lo != 7 {
+		t.Errorf("GE refine: %v %v", na, ok)
+	}
+	if _, _, ok := refine(isa.CondEQ, Interval{0, 3}, Interval{5, 8}); ok {
+		t.Error("disjoint EQ refine must be infeasible")
+	}
+}
+
+// TestDerivedBoundSimpleLoop checks exact derivation on a plain counted
+// loop, including one without any annotation.
+func TestDerivedBoundSimpleLoop(t *testing.T) {
+	prog := compile(t, `
+int acc = 0;
+void main() {
+	int i;
+	for (i = 0; i < 17; i = i + 1) {
+		acc = acc + i;
+	}
+	__out(acc);
+}
+`)
+	g := buildGraph(t, prog)
+	rep := Analyze(g)
+	fs := ValidateBounds(g, rep)
+	if len(fs) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(fs))
+	}
+	if fs[0].Derived != 17 {
+		t.Errorf("derived = %d, want 17", fs[0].Derived)
+	}
+	if fs[0].Status != BoundOK {
+		t.Errorf("status = %v, want ok (annotated %d)", fs[0].Status, fs[0].Annotated)
+	}
+}
+
+// TestDerivedBoundNestedLoops checks a triangular nest: the inner bound
+// must come out as the worst case over all outer iterations.
+func TestDerivedBoundNestedLoops(t *testing.T) {
+	prog := compile(t, `
+int acc = 0;
+void main() {
+	int i;
+	int j;
+	for (i = 0; i < 8; i = i + 1) {
+		for __bound(12) (j = i; j < 12; j = j + 1) {
+			acc = acc + 1;
+		}
+	}
+	__out(acc);
+}
+`)
+	g := buildGraph(t, prog)
+	rep := Analyze(g)
+	for _, f := range ValidateBounds(g, rep) {
+		if f.Status == BoundUnsound {
+			t.Fatalf("false unsoundness: %v", f)
+		}
+		switch f.Annotated {
+		case 8:
+			if f.Derived != 8 {
+				t.Errorf("outer derived = %d, want 8", f.Derived)
+			}
+		case 12:
+			// j runs i..11 with i >= 0, so 12 iterations worst-case.
+			if f.Derived != 12 {
+				t.Errorf("inner derived = %d, want 12", f.Derived)
+			}
+		}
+	}
+}
+
+// TestUnderstatedAnnotationRejected is the acceptance-criteria fixture: a
+// deliberately understated #bound must be flagged with a precise
+// diagnostic.
+func TestUnderstatedAnnotationRejected(t *testing.T) {
+	prog := compile(t, `
+int acc = 0;
+void main() {
+	int i;
+	for __bound(3) (i = 0; i < 10; i = i + 1) {
+		acc = acc + i;
+	}
+	__out(acc);
+}
+`)
+	g := buildGraph(t, prog)
+	rep := Analyze(g)
+	fs := ValidateBounds(g, rep)
+	if len(fs) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(fs))
+	}
+	f := fs[0]
+	if f.Status != BoundUnsound || f.Annotated != 3 || f.Derived != 10 {
+		t.Fatalf("want unsound annotated=3 derived=10, got %+v", f)
+	}
+	msg := f.String()
+	for _, part := range []string{"main", "annotated 3", "derived 10", "UNSOUND"} {
+		if !strings.Contains(msg, part) {
+			t.Errorf("diagnostic %q missing %q", msg, part)
+		}
+	}
+}
+
+// TestDeadEdgeDetection: a branch on a constant must kill one direction.
+func TestDeadEdgeDetection(t *testing.T) {
+	prog := compile(t, `
+int acc = 0;
+void main() {
+	int mode = 0;
+	if (mode == 1) {
+		acc = 111;
+	} else {
+		acc = 7;
+	}
+	__out(acc);
+}
+`)
+	g := buildGraph(t, prog)
+	rep := Analyze(g)
+	fr := rep.Funcs["main"]
+	if fr == nil {
+		t.Fatal("no main report")
+	}
+	total := len(fr.DeadEdges)
+	unreachable := 0
+	for _, ok := range fr.Reachable {
+		if !ok {
+			unreachable++
+		}
+	}
+	if total == 0 {
+		t.Errorf("expected a dead edge, got none (unreachable blocks: %d)", unreachable)
+	}
+	if unreachable == 0 {
+		t.Errorf("expected the mode==1 arm to be unreachable")
+	}
+}
+
+// TestClabBenchmarks is the zero-false-positives gate: every annotation in
+// the six C-lab benchmarks must validate, no memory access may resolve
+// outside a legal segment, and at least one benchmark must produce a
+// derived bound, a tightened (loose) annotation, or a pruned edge.
+func TestClabBenchmarks(t *testing.T) {
+	progress := 0
+	for _, b := range clab.All() {
+		prog := b.MustProgram()
+		g := buildGraph(t, prog)
+		rep := Analyze(g)
+		derived := 0
+		for _, f := range ValidateBounds(g, rep) {
+			switch f.Status {
+			case BoundUnsound:
+				t.Errorf("%s: false unsoundness report: %v", b.Name, f)
+			case BoundUnknown:
+				t.Errorf("%s: loop lost its bound: %v", b.Name, f)
+			case BoundLoose, BoundFilled:
+				derived++
+			case BoundOK:
+				if f.Derived >= 0 {
+					derived++
+				}
+			}
+		}
+		dead := 0
+		for _, fr := range rep.Funcs {
+			dead += len(fr.DeadEdges)
+		}
+		for _, f := range MemLint(g, rep) {
+			if f.Kind == "out-of-segment" {
+				t.Errorf("%s: %v", b.Name, f)
+			}
+		}
+		t.Logf("%s: %d validated/derived bounds, %d dead edges", b.Name, derived, dead)
+		progress += derived + dead
+	}
+	if progress == 0 {
+		t.Error("no benchmark produced a derived bound or pruned edge")
+	}
+}

@@ -1,0 +1,274 @@
+package absint
+
+import "visa/internal/isa"
+
+// spBounded keeps symbolic SP-relative offsets inside the window where the
+// stack and data keyspaces are provably disjoint; anything wider degrades
+// to Top.
+func spBounded(iv Interval) Val {
+	if iv.Lo < -spOffsetCap || iv.Hi > spOffsetCap {
+		return top()
+	}
+	return Val{I: iv, SPRel: true}
+}
+
+func addVal(a, b Val) Val {
+	switch {
+	case a.SPRel && b.SPRel:
+		return top() // sp+sp has no meaning
+	case a.SPRel:
+		return spBounded(mk(a.I.Lo+b.I.Lo, a.I.Hi+b.I.Hi))
+	case b.SPRel:
+		return spBounded(mk(a.I.Lo+b.I.Lo, a.I.Hi+b.I.Hi))
+	default:
+		return Val{I: mk(a.I.Lo+b.I.Lo, a.I.Hi+b.I.Hi)}
+	}
+}
+
+func subVal(a, b Val) Val {
+	d := mk(a.I.Lo-b.I.Hi, a.I.Hi-b.I.Lo)
+	switch {
+	case a.SPRel && b.SPRel:
+		return Val{I: d} // the symbolic base cancels
+	case a.SPRel:
+		return spBounded(d)
+	case b.SPRel:
+		return top()
+	default:
+		return Val{I: d}
+	}
+}
+
+// cmpVal abstracts SLT/SLTI-style comparisons producing 0/1.
+func cmpVal(c isa.Cond, a, b Val) Val {
+	if a.SPRel == b.SPRel {
+		if holds, known := decide(c, a.I, b.I); known {
+			if holds {
+				return Val{I: Single(1)}
+			}
+			return Val{I: Single(0)}
+		}
+	}
+	return Val{I: Interval{0, 1}}
+}
+
+func sltuVal(a, b Val) Val {
+	// Precise only when both operands stay in the nonnegative half, where
+	// unsigned and signed orders agree.
+	if !a.SPRel && !b.SPRel && a.I.Lo >= 0 && b.I.Lo >= 0 {
+		return cmpVal(isa.CondLT, a, b)
+	}
+	return Val{I: Interval{0, 1}}
+}
+
+// intOp abstracts the remaining two-operand integer ops. Singleton
+// operands fold exactly with the executor's int32 semantics (including
+// wrap, mask-by-31 shifts and divide-by-zero-yields-zero); interval
+// operands use per-op sound formulas and otherwise return Top.
+func intOp(op isa.Op, a, b Val) Val {
+	if a.SPRel || b.SPRel {
+		return top()
+	}
+	if av, aok := a.I.IsSingle(); aok {
+		if bv, bok := b.I.IsSingle(); bok {
+			return single(concreteOp(op, av, bv))
+		}
+	}
+	return Val{I: rangeOp(op, a.I, b.I)}
+}
+
+// concreteOp mirrors internal/exec exactly for one value pair.
+func concreteOp(op isa.Op, rs, rt int32) int32 {
+	switch op {
+	case isa.AND:
+		return rs & rt
+	case isa.OR:
+		return rs | rt
+	case isa.XOR:
+		return rs ^ rt
+	case isa.NOR:
+		return ^(rs | rt)
+	case isa.SLL:
+		return rs << (uint32(rt) & 31)
+	case isa.SRL:
+		return int32(uint32(rs) >> (uint32(rt) & 31))
+	case isa.SRA:
+		return rs >> (uint32(rt) & 31)
+	case isa.MUL:
+		return rs * rt
+	case isa.DIV:
+		if rt == 0 {
+			return 0
+		}
+		return rs / rt
+	case isa.REM:
+		if rt == 0 {
+			return 0
+		}
+		return rs % rt
+	}
+	return 0
+}
+
+func rangeOp(op isa.Op, a, b Interval) Interval {
+	switch op {
+	case isa.AND:
+		// x & m with m >= 0 lands in [0, m] whatever the sign of x.
+		if b.Lo >= 0 {
+			return Interval{0, b.Hi}
+		}
+		if a.Lo >= 0 {
+			return Interval{0, a.Hi}
+		}
+	case isa.OR:
+		return orRange(a, b)
+	case isa.XOR:
+		if a.Lo >= 0 && b.Lo >= 0 {
+			return Interval{0, maskAbove(a.Hi | b.Hi)}
+		}
+	case isa.NOR:
+		o := orRange(a, b)
+		return mk(-o.Hi-1, -o.Lo-1) // ^x == -x-1
+	case isa.SLL:
+		if s, ok := shiftAmount(b); ok {
+			lo, hi := a.Lo<<s, a.Hi<<s
+			if lo>>s == a.Lo && hi>>s == a.Hi {
+				return mk(lo, hi)
+			}
+		}
+	case isa.SRL:
+		if s, ok := shiftAmount(b); ok {
+			if s == 0 {
+				return a
+			}
+			if a.Lo >= 0 {
+				return Interval{a.Lo >> s, a.Hi >> s}
+			}
+			return mk(0, (1<<(32-s))-1)
+		}
+		if a.Lo >= 0 {
+			return Interval{0, a.Hi} // right shifts only shrink nonnegatives
+		}
+	case isa.SRA:
+		if s, ok := shiftAmount(b); ok {
+			return Interval{a.Lo >> s, a.Hi >> s}
+		}
+		// s unknown in 0..31: result lies between x and its sign.
+		return Interval{min64(a.Lo, a.Lo>>31), max64(a.Hi, a.Hi>>31)}
+	case isa.MUL:
+		p1, p2 := a.Lo*b.Lo, a.Lo*b.Hi
+		p3, p4 := a.Hi*b.Lo, a.Hi*b.Hi
+		lo := min64(min64(p1, p2), min64(p3, p4))
+		hi := max64(max64(p1, p2), max64(p3, p4))
+		if lo >= minI32 && hi <= maxI32 {
+			return Interval{lo, hi}
+		}
+	case isa.DIV:
+		return divRange(a, b)
+	case isa.REM:
+		return remRange(a, b)
+	}
+	return Full()
+}
+
+// orRange bounds x|y. For nonnegative operands the result stays under the
+// all-ones mask covering both; a definitely-negative operand forces a
+// negative result.
+func orRange(a, b Interval) Interval {
+	if a.Lo >= 0 && b.Lo >= 0 {
+		return Interval{0, maskAbove(a.Hi | b.Hi)}
+	}
+	if a.Hi < 0 || b.Hi < 0 {
+		return Interval{minI32, -1}
+	}
+	return Full()
+}
+
+// maskAbove returns the smallest 2^k-1 >= v (v in [0, maxI32]).
+func maskAbove(v int64) int64 {
+	m := int64(1)
+	for m-1 < v {
+		m <<= 1
+	}
+	return m - 1
+}
+
+func shiftAmount(b Interval) (uint, bool) {
+	v, ok := b.IsSingle()
+	if !ok {
+		return 0, false
+	}
+	return uint(uint32(v) & 31), true
+}
+
+func divRange(a, b Interval) Interval {
+	res := Interval{}
+	has := false
+	join := func(iv Interval) {
+		if !has {
+			res, has = iv, true
+		} else {
+			res = res.Join(iv)
+		}
+	}
+	if b.Contains(0) {
+		join(Single(0)) // the executor defines x/0 == 0
+		var ok bool
+		if b, ok = trimZero(b); !ok {
+			return res
+		}
+	}
+	if b.Lo <= -1 && b.Hi >= 1 {
+		return Full() // mixed-sign divisor: magnitudes up to |a|
+	}
+	// Truncated division is monotone in each argument for a sign-pure
+	// divisor, so the four corners bound the quotient. The single wrap
+	// case (MinInt32 / -1) overflows the int64 corner and mk degrades to
+	// Full, which covers the wrapped value.
+	q1, q2 := a.Lo/b.Lo, a.Lo/b.Hi
+	q3, q4 := a.Hi/b.Lo, a.Hi/b.Hi
+	join(mk(min64(min64(q1, q2), min64(q3, q4)), max64(max64(q1, q2), max64(q3, q4))))
+	return res
+}
+
+func remRange(a, b Interval) Interval {
+	res := Interval{}
+	has := false
+	join := func(iv Interval) {
+		if !has {
+			res, has = iv, true
+		} else {
+			res = res.Join(iv)
+		}
+	}
+	if b.Contains(0) {
+		join(Single(0)) // the executor defines x%0 == 0
+		var ok bool
+		if b, ok = trimZero(b); !ok {
+			return res
+		}
+	}
+	// |x % y| < |y| and the result takes the dividend's sign.
+	m := max64(abs64(b.Lo), abs64(b.Hi)) - 1
+	lo, hi := int64(0), int64(0)
+	if a.Lo < 0 {
+		lo = max64(a.Lo, -m)
+	}
+	if a.Hi > 0 {
+		hi = min64(a.Hi, m)
+	}
+	join(Interval{lo, hi})
+	return res
+}
+
+// trimZero removes 0 from a divisor interval when it sits on a boundary.
+func trimZero(b Interval) (Interval, bool) {
+	return trimEq(b, 0)
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

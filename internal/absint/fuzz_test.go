@@ -1,0 +1,264 @@
+package absint
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"visa/internal/cfg"
+	"visa/internal/exec"
+	"visa/internal/isa"
+	"visa/internal/minic"
+)
+
+// Generative soundness fuzzing: random structured mini-C programs are
+// analyzed and then executed concretely; every observed register write,
+// effective address, traversed CFG edge, and loop trip count must lie
+// inside what the abstract interpretation claims. This is the package's
+// strongest check that the transfer functions, widening/narrowing, call
+// havoc, and bound derivation are jointly conservative.
+
+type progGen struct {
+	r *rand.Rand
+	b strings.Builder
+}
+
+func (g *progGen) stmt(indent string, loopDepth int) {
+	switch g.r.Intn(7) {
+	case 0, 1: // arithmetic on scalars
+		ops := []string{"+", "-", "*", "^", "&", "|"}
+		fmt.Fprintf(&g.b, "%ss = s %s (t + %d);\n", indent, ops[g.r.Intn(len(ops))], g.r.Intn(50))
+	case 2: // array traffic
+		fmt.Fprintf(&g.b, "%sv[(s & 31)] = v[(t & 31)] + %d;\n", indent, g.r.Intn(9))
+	case 3: // data-dependent branch
+		fmt.Fprintf(&g.b, "%sif ((s ^ t) %% 3 == %d) { t = t + s %% 7; } else { s = s - 2; }\n",
+			indent, g.r.Intn(3))
+	case 4: // division / remainder (including the by-zero convention)
+		fmt.Fprintf(&g.b, "%st = t / (s %% %d) + s %% %d;\n", indent, 1+g.r.Intn(5), 1+g.r.Intn(5))
+	case 5: // shift work
+		fmt.Fprintf(&g.b, "%ss = (s << %d) >> %d;\n", indent, g.r.Intn(4), g.r.Intn(4))
+	case 6: // counted loop (bounded depth)
+		if loopDepth >= 2 {
+			fmt.Fprintf(&g.b, "%st = t + 1;\n", indent)
+			return
+		}
+		iv := []string{"i", "j", "k"}[loopDepth]
+		n := 2 + g.r.Intn(9)
+		fmt.Fprintf(&g.b, "%sfor (%s = 0; %s < %d; %s = %s + 1) {\n", indent, iv, iv, n, iv, iv)
+		body := 1 + g.r.Intn(3)
+		for x := 0; x < body; x++ {
+			g.stmt(indent+"\t", loopDepth+1)
+		}
+		fmt.Fprintf(&g.b, "%s}\n", indent)
+	}
+}
+
+func (g *progGen) generate(withCall bool) string {
+	g.b.Reset()
+	if withCall {
+		g.b.WriteString("int mix(int x) {\n\tint y = x * 3 + 1;\n\tif (y % 2 == 0) { y = y / 2; }\n\treturn y;\n}\n")
+	}
+	g.b.WriteString("int v[32];\nvoid main() {\n\tint s = 3;\n\tint t = 11;\n\tint i;\n\tint j;\n\tint k;\n")
+	n := 3 + g.r.Intn(6)
+	for x := 0; x < n; x++ {
+		g.stmt("\t", 0)
+	}
+	if withCall {
+		g.b.WriteString("\ts = s + mix(t);\n")
+	}
+	g.b.WriteString("\t__out(s);\n\t__out(t);\n}\n")
+	return g.b.String()
+}
+
+// oracle holds everything the concrete run is checked against.
+type oracle struct {
+	g        *cfg.Graph
+	rep      *Report
+	pcFunc   map[int]*cfg.FuncGraph
+	findings map[[2]string]BoundFinding // (fn, loopID as string) -> finding
+}
+
+func newOracle(g *cfg.Graph, rep *Report) *oracle {
+	o := &oracle{g: g, rep: rep, pcFunc: map[int]*cfg.FuncGraph{}, findings: map[[2]string]BoundFinding{}}
+	for _, fg := range g.Funcs {
+		for pc := fg.Fn.Start; pc < fg.Fn.End; pc++ {
+			o.pcFunc[pc] = fg
+		}
+	}
+	for _, f := range ValidateBounds(g, rep) {
+		o.findings[[2]string{f.Fn, fmt.Sprint(f.LoopID)}] = f
+	}
+	return o
+}
+
+func destReg(in isa.Inst) int {
+	if in.Op == isa.JAL {
+		return int(isa.RegRA)
+	}
+	return int(in.Rd)
+}
+
+func TestGenerativeSoundness(t *testing.T) {
+	g := &progGen{r: rand.New(rand.NewSource(0x5A11D))}
+	for trial := 0; trial < 40; trial++ {
+		src := g.generate(trial%3 == 0)
+		prog, err := minic.Compile("gen.c", src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		graph, err := cfg.BuildWithOptions(prog, cfg.Options{AllowMissingBounds: true})
+		if err != nil {
+			t.Fatalf("trial %d: cfg: %v\n%s", trial, err, src)
+		}
+		rep := Analyze(graph)
+		o := newOracle(graph, rep)
+		for _, f := range o.findings {
+			if f.Status == BoundUnsound {
+				t.Fatalf("trial %d: false unsoundness: %v\n%s", trial, f, src)
+			}
+		}
+		if err := runChecked(prog, o); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+	}
+}
+
+// runChecked executes prog and asserts every dynamic event against the
+// abstract results.
+func runChecked(prog *isa.Program, o *oracle) error {
+	m := exec.New(prog)
+	// entrySP[depth]: the stack pointer at the current function's entry.
+	spStack := []int32{m.R[isa.RegSP]}
+	pendingEntry := false
+	trips := map[string]map[int]int{} // fn -> loop ID -> back-edge takes
+
+	checkLoop := func(fg *cfg.FuncGraph, l *cfg.Loop, n int) error {
+		f, ok := o.findings[[2]string{fg.Fn.Name, fmt.Sprint(l.ID)}]
+		if !ok {
+			return nil
+		}
+		if f.Derived >= 0 && n > f.Derived {
+			return fmt.Errorf("%s loop %d: observed %d back-edge takes > derived bound %d",
+				fg.Fn.Name, l.ID, n, f.Derived)
+		}
+		if f.Annotated >= 0 && n > f.Annotated {
+			return fmt.Errorf("%s loop %d: observed %d back-edge takes > annotated bound %d",
+				fg.Fn.Name, l.ID, n, f.Annotated)
+		}
+		return nil
+	}
+
+	for steps := 0; ; steps++ {
+		if steps > 1<<22 {
+			return fmt.Errorf("runaway execution")
+		}
+		preSP := m.R[isa.RegSP]
+		d, ok, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if pendingEntry {
+			spStack = append(spStack, preSP)
+			pendingEntry = false
+		}
+		entrySP := spStack[len(spStack)-1]
+		fg := o.pcFunc[d.PC]
+		if fg == nil {
+			return fmt.Errorf("pc %d outside every function", d.PC)
+		}
+		fr := o.rep.Funcs[fg.Fn.Name]
+		if fr == nil {
+			return fmt.Errorf("no report for %s", fg.Fn.Name)
+		}
+		blk := fg.BlockAt(d.PC)
+		if !fr.Reachable[blk.ID] {
+			return fmt.Errorf("%s: executed pc %d in block %d the analysis marked unreachable",
+				fg.Fn.Name, d.PC, blk.ID)
+		}
+
+		// Register writes must lie inside the recorded abstract value.
+		if w, ok := fr.Writes[d.PC]; ok {
+			rd := destReg(d.Inst)
+			v := m.R[rd]
+			ov := int64(v)
+			if w.SPRel {
+				ov = int64(int32(uint32(v) - uint32(entrySP)))
+			}
+			if ov < w.I.Lo || ov > w.I.Hi {
+				return fmt.Errorf("%s: pc %d (%v) wrote r%d=%d, outside abstract %v (entry sp %d)",
+					fg.Fn.Name, d.PC, d.Inst.Op, rd, v, w, entrySP)
+			}
+		}
+
+		// Effective addresses must lie inside the recorded access range.
+		if acc, ok := fr.Addrs[d.PC]; ok {
+			ov := int64(int32(d.Addr))
+			if acc.Addr.SPRel {
+				ov = int64(int32(d.Addr - uint32(entrySP)))
+			}
+			if ov < acc.Addr.I.Lo || ov > acc.Addr.I.Hi {
+				return fmt.Errorf("%s: pc %d accessed %#x, outside abstract %v (entry sp %d)",
+					fg.Fn.Name, d.PC, d.Addr, acc.Addr, entrySP)
+			}
+		}
+
+		// Intra-function control transfers must not use dead edges, and
+		// loop trip counts must respect the derived bounds.
+		if tfg := o.pcFunc[d.NextPC]; tfg == fg && d.Inst.Op != isa.JAL && d.PC == blk.LastPC() {
+			to := fg.BlockAt(d.NextPC)
+			if to.ID != blk.ID && fr.DeadEdge(blk.ID, to.ID) {
+				return fmt.Errorf("%s: traversed dead edge block %d -> %d (pc %d -> %d)",
+					fg.Fn.Name, blk.ID, to.ID, d.PC, d.NextPC)
+			}
+			for _, l := range fg.Loops {
+				if to.ID == l.Header && l.Blocks[blk.ID] {
+					for _, tail := range l.Tails {
+						if tail == blk.ID {
+							if trips[fg.Fn.Name] == nil {
+								trips[fg.Fn.Name] = map[int]int{}
+							}
+							trips[fg.Fn.Name][l.ID]++
+						}
+					}
+				}
+			}
+		}
+		// Leaving a loop (executing an instruction outside it, in the same
+		// function) closes out its trip count.
+		for _, l := range fg.Loops {
+			n := trips[fg.Fn.Name][l.ID]
+			if n > 0 && !l.Blocks[blk.ID] {
+				if err := checkLoop(fg, l, n); err != nil {
+					return err
+				}
+				trips[fg.Fn.Name][l.ID] = 0
+			}
+		}
+
+		switch d.Inst.Op {
+		case isa.JAL:
+			pendingEntry = true
+		case isa.JR:
+			if len(spStack) > 1 {
+				spStack = spStack[:len(spStack)-1]
+			}
+		}
+	}
+
+	// Close out any loops still open at halt.
+	for fn, perLoop := range trips {
+		fg := o.g.Funcs[fn]
+		for id, n := range perLoop {
+			if n > 0 {
+				if err := checkLoop(fg, fg.Loops[id], n); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

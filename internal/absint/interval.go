@@ -1,0 +1,253 @@
+// Package absint is an interval-domain abstract interpreter over the
+// ISA-level control-flow graph (internal/cfg). It propagates register and
+// memory value ranges through each function with widening at loop heads and
+// narrowing on back-edges, and delivers three consumers for the WCET
+// pipeline: derived loop bounds for counted loops, statically-dead CFG
+// edges for infeasible-path pruning, and per-access address ranges for
+// data-cache working-set refinement.
+package absint
+
+import (
+	"fmt"
+	"math"
+
+	"visa/internal/isa"
+)
+
+const (
+	minI32 = math.MinInt32
+	maxI32 = math.MaxInt32
+)
+
+// Interval is an inclusive signed 32-bit range. Bounds are held as int64 so
+// arithmetic can detect int32 overflow before clamping to Full. A valid
+// Interval always has minI32 <= Lo <= Hi <= maxI32.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Full returns the interval covering every int32 value.
+func Full() Interval { return Interval{minI32, maxI32} }
+
+// Single returns the singleton interval {v}.
+func Single(v int32) Interval { return Interval{int64(v), int64(v)} }
+
+// mk builds an interval from possibly-overflowing int64 bounds: any bound
+// outside int32 collapses the whole result to Full, which is always sound
+// because the concrete machine wraps.
+func mk(lo, hi int64) Interval {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo < minI32 || hi > maxI32 {
+		return Full()
+	}
+	return Interval{lo, hi}
+}
+
+// IsSingle reports whether the interval holds exactly one value.
+func (iv Interval) IsSingle() (int32, bool) {
+	if iv.Lo == iv.Hi {
+		return int32(iv.Lo), true
+	}
+	return 0, false
+}
+
+// IsFull reports whether the interval covers all of int32.
+func (iv Interval) IsFull() bool { return iv.Lo == minI32 && iv.Hi == maxI32 }
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v int32) bool { return int64(v) >= iv.Lo && int64(v) <= iv.Hi }
+
+// Width returns the number of values covered, as int64 (never overflows).
+func (iv Interval) Width() int64 { return iv.Hi - iv.Lo + 1 }
+
+// Join returns the smallest interval covering both operands.
+func (iv Interval) Join(o Interval) Interval {
+	return Interval{min64(iv.Lo, o.Lo), max64(iv.Hi, o.Hi)}
+}
+
+// Meet intersects two intervals; ok is false when they are disjoint.
+func (iv Interval) Meet(o Interval) (Interval, bool) {
+	lo, hi := max64(iv.Lo, o.Lo), min64(iv.Hi, o.Hi)
+	if lo > hi {
+		return Interval{}, false
+	}
+	return Interval{lo, hi}, true
+}
+
+// Widening landmarks: an unstable bound jumps outward to the next rung
+// instead of straight to the int32 extreme. The intermediate rungs matter
+// for soundness-adjacent precision: a counter widened to 2^16 can still be
+// incremented without the interval overflowing to Full (which would untrack
+// the memory cell holding it), so narrowing can later recover the real
+// range. Ascending chains still terminate in at most four steps per bound.
+var (
+	loLadder = [...]int64{0, -(1 << 16), -(1 << 28), minI32}
+	hiLadder = [...]int64{0, 1 << 16, 1 << 28, maxI32}
+)
+
+// Widen extrapolates the unstable bounds of new (relative to the previous
+// iterate iv) outward along the landmark ladder.
+func (iv Interval) Widen(new Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if new.Lo < lo {
+		lo = minI32
+		for _, m := range loLadder {
+			if m <= new.Lo {
+				lo = m
+				break
+			}
+		}
+	}
+	if new.Hi > hi {
+		hi = maxI32
+		for _, m := range hiLadder {
+			if m >= new.Hi {
+				hi = m
+				break
+			}
+		}
+	}
+	return Interval{min64(lo, new.Lo), max64(hi, new.Hi)}
+}
+
+func (iv Interval) String() string {
+	if v, ok := iv.IsSingle(); ok {
+		return fmt.Sprintf("{%d}", v)
+	}
+	if iv.IsFull() {
+		return "[int32]"
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}
+
+// Val is an abstract register value. When SPRel is true the concrete value
+// is the function's entry stack pointer plus an offset drawn from I; this
+// symbolic base gives sound tracking of frame-relative accesses without
+// knowing the concrete stack depth. When SPRel is false, I bounds the value
+// itself.
+type Val struct {
+	I     Interval
+	SPRel bool
+}
+
+func top() Val           { return Val{I: Full()} }
+func single(v int32) Val { return Val{I: Single(v)} }
+
+// IsTop reports whether the value carries no information.
+func (v Val) IsTop() bool { return !v.SPRel && v.I.IsFull() }
+
+func (v Val) join(o Val) Val {
+	if v.SPRel != o.SPRel {
+		return top()
+	}
+	return Val{I: v.I.Join(o.I), SPRel: v.SPRel}
+}
+
+func (v Val) widen(new Val) Val {
+	if v.SPRel != new.SPRel {
+		return top()
+	}
+	return Val{I: v.I.Widen(new.I), SPRel: v.SPRel}
+}
+
+func (v Val) eq(o Val) bool { return v == o }
+
+func (v Val) String() string {
+	if v.SPRel {
+		return "sp+" + v.I.String()
+	}
+	return v.I.String()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// decide evaluates cond over two intervals. known is true when every pair
+// of concrete values drawn from a and b gives the same truth value.
+func decide(c isa.Cond, a, b Interval) (holds, known bool) {
+	switch c {
+	case isa.CondEQ:
+		if a.Hi < b.Lo || b.Hi < a.Lo {
+			return false, true
+		}
+		av, aok := a.IsSingle()
+		bv, bok := b.IsSingle()
+		if aok && bok && av == bv {
+			return true, true
+		}
+	case isa.CondNE:
+		holds, known = decide(isa.CondEQ, a, b)
+		return !holds, known
+	case isa.CondLT:
+		if a.Hi < b.Lo {
+			return true, true
+		}
+		if a.Lo >= b.Hi {
+			return false, true
+		}
+	case isa.CondGE:
+		holds, known = decide(isa.CondLT, a, b)
+		return !holds, known
+	}
+	return false, false
+}
+
+// refine narrows a and b under the assumption that cond holds. ok is false
+// when the assumption is contradictory (the branch direction is infeasible).
+func refine(c isa.Cond, a, b Interval) (na, nb Interval, ok bool) {
+	switch c {
+	case isa.CondEQ:
+		m, mok := a.Meet(b)
+		return m, m, mok
+	case isa.CondNE:
+		na, nb = a, b
+		if bv, bok := b.IsSingle(); bok {
+			if na, ok = trimEq(a, int64(bv)); !ok {
+				return na, nb, false
+			}
+		}
+		if av, aok := a.IsSingle(); aok {
+			if nb, ok = trimEq(nb, int64(av)); !ok {
+				return na, nb, false
+			}
+		}
+		return na, nb, true
+	case isa.CondLT:
+		na = Interval{a.Lo, min64(a.Hi, b.Hi-1)}
+		nb = Interval{max64(b.Lo, a.Lo+1), b.Hi}
+		return na, nb, na.Lo <= na.Hi && nb.Lo <= nb.Hi
+	case isa.CondGE:
+		na = Interval{max64(a.Lo, b.Lo), a.Hi}
+		nb = Interval{b.Lo, min64(b.Hi, a.Hi)}
+		return na, nb, na.Lo <= na.Hi && nb.Lo <= nb.Hi
+	}
+	return a, b, true
+}
+
+// trimEq removes v from iv when v sits on a boundary; interior holes are
+// not representable so the interval is returned unchanged.
+func trimEq(iv Interval, v int64) (Interval, bool) {
+	if iv.Lo == v && iv.Hi == v {
+		return iv, false
+	}
+	if iv.Lo == v {
+		return Interval{iv.Lo + 1, iv.Hi}, true
+	}
+	if iv.Hi == v {
+		return Interval{iv.Lo, iv.Hi - 1}, true
+	}
+	return iv, true
+}

@@ -1,0 +1,275 @@
+package absint
+
+import (
+	"fmt"
+	"sort"
+
+	"visa/internal/cfg"
+	"visa/internal/isa"
+)
+
+// Edge identifies a CFG edge by block IDs within one function.
+type Edge struct {
+	From, To int
+}
+
+// Access is the abstract address range of one load/store site.
+type Access struct {
+	Addr Val
+	Size int
+}
+
+// Report is the whole-program analysis result.
+type Report struct {
+	Funcs map[string]*FuncReport
+}
+
+// FuncReport carries per-function facts keyed by cfg block ID, loop ID, or
+// instruction index.
+type FuncReport struct {
+	Name string
+	// Reachable marks blocks the analysis could not prove dead.
+	Reachable []bool
+	// DeadEdges lists edges between reachable blocks whose branch
+	// direction is statically decided the other way.
+	DeadEdges map[Edge]bool
+	// LoopBound maps loop ID to the derived back-edge bound, -1 if the
+	// loop is not provably counted.
+	LoopBound map[int]int
+	// Writes joins every value an instruction writes to its integer
+	// destination register, across all abstract executions.
+	Writes map[int]Val
+	// Addrs joins the effective address of every load/store site.
+	Addrs map[int]Access
+}
+
+func (r *FuncReport) noteWrite(pc int, v Val) {
+	if old, ok := r.Writes[pc]; ok {
+		v = old.join(v)
+	}
+	r.Writes[pc] = v
+}
+
+func (r *FuncReport) noteAddr(pc int, a Val, size int) {
+	if old, ok := r.Addrs[pc]; ok {
+		a = old.Addr.join(a)
+	}
+	r.Addrs[pc] = Access{Addr: a, Size: size}
+}
+
+// DeadEdge reports whether the from->to edge can never be traversed, either
+// because its branch direction is statically decided or because the target
+// block is unreachable outright.
+func (r *FuncReport) DeadEdge(from, to int) bool {
+	if r == nil {
+		return false
+	}
+	if r.DeadEdges[Edge{From: from, To: to}] {
+		return true
+	}
+	return to < len(r.Reachable) && !r.Reachable[to]
+}
+
+// BoundStatus classifies one loop's #bound annotation against the derived
+// bound.
+type BoundStatus int
+
+const (
+	// BoundOK: the annotation matches the derived bound, or no finite
+	// bound could be derived to check it against.
+	BoundOK BoundStatus = iota
+	// BoundLoose: the annotation is sound but larger than the derived
+	// bound; WCET can use the derived value.
+	BoundLoose
+	// BoundUnsound: the annotation is SMALLER than the derived bound —
+	// the WCET computed from it cannot be trusted.
+	BoundUnsound
+	// BoundFilled: the loop had no annotation and the derived bound
+	// fills the gap.
+	BoundFilled
+	// BoundUnknown: no annotation and no derivable bound; WCET analysis
+	// cannot proceed for this loop.
+	BoundUnknown
+)
+
+func (s BoundStatus) String() string {
+	switch s {
+	case BoundOK:
+		return "ok"
+	case BoundLoose:
+		return "loose"
+	case BoundUnsound:
+		return "UNSOUND"
+	case BoundFilled:
+		return "derived"
+	case BoundUnknown:
+		return "unknown"
+	}
+	return "?"
+}
+
+// BoundFinding is the validation verdict for one loop.
+type BoundFinding struct {
+	Fn        string
+	LoopID    int
+	HeaderPC  int
+	BranchPC  int // back-edge branch carrying (or needing) the annotation
+	Annotated int // -1 when the annotation is missing
+	Derived   int // -1 when not provably counted
+	Status    BoundStatus
+}
+
+func (f BoundFinding) String() string {
+	ann := "none"
+	if f.Annotated >= 0 {
+		ann = fmt.Sprint(f.Annotated)
+	}
+	der := "unknown"
+	if f.Derived >= 0 {
+		der = fmt.Sprint(f.Derived)
+	}
+	return fmt.Sprintf("%s: loop head pc %d (back-edge branch pc %d): annotated %s, derived %s: %s",
+		f.Fn, f.HeaderPC, f.BranchPC, ann, der, f.Status)
+}
+
+// ValidateBounds checks every loop's annotation against the derived bound.
+// Findings come back sorted by function (call order) then loop header pc.
+func ValidateBounds(g *cfg.Graph, rep *Report) []BoundFinding {
+	var out []BoundFinding
+	for _, name := range g.CallOrder {
+		fg := g.Funcs[name]
+		fr := rep.Funcs[name]
+		if fr == nil {
+			continue
+		}
+		for _, l := range fg.Loops {
+			f := BoundFinding{
+				Fn:        name,
+				LoopID:    l.ID,
+				HeaderPC:  fg.Blocks[l.Header].Start,
+				BranchPC:  backBranchPC(fg, l),
+				Annotated: l.Bound,
+				Derived:   fr.LoopBound[l.ID],
+			}
+			switch {
+			case f.Annotated < 0 && f.Derived < 0:
+				f.Status = BoundUnknown
+			case f.Annotated < 0:
+				f.Status = BoundFilled
+			case f.Derived < 0 || f.Annotated == f.Derived:
+				f.Status = BoundOK
+			case f.Annotated < f.Derived:
+				f.Status = BoundUnsound
+			default:
+				f.Status = BoundLoose
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		return out[i].HeaderPC < out[j].HeaderPC
+	})
+	return out
+}
+
+func backBranchPC(fg *cfg.FuncGraph, l *cfg.Loop) int {
+	pc := -1
+	for _, tail := range l.Tails {
+		if p := fg.Blocks[tail].LastPC(); p > pc {
+			pc = p
+		}
+	}
+	return pc
+}
+
+// MemFinding flags one suspicious load/store site.
+type MemFinding struct {
+	Fn   string
+	PC   int
+	Addr Val
+	Size int
+	// Kind is "out-of-segment" when the resolved address range is provably
+	// disjoint from every legal region (data segment, stack window, MMIO
+	// page), or "unresolved" when the range is too wide to prove the access
+	// legal but still intersects a legal region.
+	Kind string
+}
+
+func (f MemFinding) String() string {
+	return fmt.Sprintf("%s: pc %d: %d-byte access at %s: %s", f.Fn, f.PC, f.Size, f.Addr, f.Kind)
+}
+
+// MemLint scans recorded access ranges for addresses outside every legal
+// region. Unresolved (Top) addresses are reported separately so callers can
+// treat them as informational.
+func MemLint(g *cfg.Graph, rep *Report) []MemFinding {
+	var out []MemFinding
+	dataEnd := int64(isa.DataBase) + int64(len(g.Prog.Data))
+	for _, name := range g.CallOrder {
+		fr := rep.Funcs[name]
+		if fr == nil {
+			continue
+		}
+		pcs := make([]int, 0, len(fr.Addrs))
+		for pc := range fr.Addrs {
+			pcs = append(pcs, pc)
+		}
+		sort.Ints(pcs)
+		for _, pc := range pcs {
+			acc := fr.Addrs[pc]
+			if kind, bad := classifyAccess(acc, dataEnd); bad {
+				out = append(out, MemFinding{Fn: name, PC: pc, Addr: acc.Addr, Size: acc.Size, Kind: kind})
+			}
+		}
+	}
+	return out
+}
+
+// classifyAccess is a may-analysis verdict: "out-of-segment" only when the
+// whole address range misses every legal region (a definite violation on
+// any path reaching the access), "unresolved" when the range overlaps a
+// legal region but is too wide to prove containment.
+func classifyAccess(acc Access, dataEnd int64) (string, bool) {
+	a := acc.Addr
+	if a.SPRel {
+		// Frame-relative: fine while the whole range stays inside the
+		// window the stack working-set bound accounts for.
+		lo, hi := a.I.Lo, a.I.Hi+int64(acc.Size)
+		if lo >= -spOffsetCap && hi <= 8 {
+			return "", false
+		}
+		if hi < -spOffsetCap || lo > 8 {
+			return "out-of-segment", true
+		}
+		return "unresolved", true
+	}
+	if a.I.Lo < 0 && a.I.Hi >= 0 {
+		// The range wraps through the top of the unsigned space and so
+		// covers both ends of it; it cannot miss every legal region.
+		return "unresolved", true
+	}
+	lo := int64(uint32(a.I.Lo))
+	hi := int64(uint32(a.I.Hi)) + int64(acc.Size)
+	type region struct{ lo, hi int64 }
+	regions := []region{
+		{int64(isa.DataBase), dataEnd},
+		{int64(isa.StackTop) - spAliasWindow, int64(isa.StackTop)},
+		{int64(isa.MMIOBase), int64(isa.MMIOBase) + 0x40},
+	}
+	overlaps := false
+	for _, r := range regions {
+		if lo >= r.lo && hi <= r.hi {
+			return "", false
+		}
+		if hi > r.lo && lo < r.hi {
+			overlaps = true
+		}
+	}
+	if overlaps {
+		return "unresolved", true
+	}
+	return "out-of-segment", true
+}

@@ -1,0 +1,257 @@
+package absint
+
+import "visa/internal/isa"
+
+// Analysis limits. They bound work and map sizes; exceeding any of them
+// degrades precision (toward Top / unknown bounds), never soundness.
+const (
+	widenDelay       = 2       // loop-header visits before widening kicks in
+	spOffsetCap      = 1 << 20 // |tracked SP-relative offset| bound, bytes
+	weakSpanCap      = 1 << 16 // widest ranged store walked cell-by-cell
+	maxTrackedCells  = 1 << 13 // memory map size cap per state
+	deriveIterCap    = 1 << 15 // max abstract iterations when deriving a bound
+	deriveStepBudget = 1 << 21 // block transfers per loop-bound derivation
+)
+
+// cell names one tracked 32-bit memory word: either an absolute
+// word-aligned byte address (sp == false) or a word-aligned offset from the
+// function's entry stack pointer (sp == true). The two keyspaces never
+// alias each other for the frame offsets we track: minic stacks live within
+// spAliasWindow bytes of StackTop, far above any data-segment address.
+type cell struct {
+	sp   bool
+	addr int64
+}
+
+// spAliasWindow is the stretch of address space below StackTop inside which
+// an absolute access could alias a tracked stack cell (entry SP is at most
+// StackTop and tracked offsets are at most spOffsetCap below it).
+const spAliasWindow = int64(2 * spOffsetCap)
+
+// origin records that a register currently holds exactly the concrete
+// value of one memory cell (it was loaded from there and neither side has
+// been written since). Branch refinement uses it to narrow loop counters
+// that live in stack slots, not just the registers they pass through.
+type origin struct {
+	ok bool
+	c  cell
+}
+
+// state is the abstract machine state at one program point: an interval
+// (plus SP-relative flag) per integer register and a partial map of memory
+// cells. Absent cells are Top. The memory map is shared copy-on-write
+// between states cloned from one another.
+type state struct {
+	live   bool
+	regs   [32]Val
+	orig   [32]origin
+	mem    map[cell]Interval
+	shared bool
+}
+
+func newState() state {
+	s := state{live: true}
+	for i := range s.regs {
+		s.regs[i] = top()
+	}
+	s.regs[isa.RegZero] = single(0)
+	return s
+}
+
+// clone returns a state sharing the memory map copy-on-write.
+func (s *state) clone() state {
+	c := *s
+	if c.mem != nil {
+		c.shared = true
+		s.shared = true
+	}
+	return c
+}
+
+func (s *state) own() {
+	if !s.shared {
+		return
+	}
+	m := make(map[cell]Interval, len(s.mem))
+	for k, v := range s.mem {
+		m[k] = v
+	}
+	s.mem = m
+	s.shared = false
+}
+
+func (s *state) getReg(r int) Val { return s.regs[r] }
+
+// setReg overwrites a register with an unrelated value, severing any
+// cell provenance. Refinement, which preserves the reg==cell identity,
+// writes s.regs directly instead.
+func (s *state) setReg(r int, v Val) {
+	if r == isa.RegZero {
+		return
+	}
+	s.regs[r] = v
+	s.orig[r] = origin{}
+}
+
+func (s *state) clearOrigins() {
+	s.orig = [32]origin{}
+}
+
+// refineReg narrows a register (and, through provenance, the memory cell it
+// was loaded from) without severing the reg==cell identity: both sides keep
+// the same concrete value, now known to lie in v.
+func (s *state) refineReg(r int, v Val) {
+	if r == isa.RegZero {
+		return
+	}
+	s.regs[r] = v
+	if o := s.orig[r]; o.ok && !v.SPRel {
+		s.setCell(o.c, v.I)
+	}
+}
+
+func (s *state) clearOriginsAt(k cell) {
+	for i := range s.orig {
+		if s.orig[i].ok && s.orig[i].c == k {
+			s.orig[i] = origin{}
+		}
+	}
+}
+
+func (s *state) getCell(k cell) Interval {
+	if v, ok := s.mem[k]; ok {
+		return v
+	}
+	return Full()
+}
+
+func (s *state) setCell(k cell, v Interval) {
+	if v.IsFull() {
+		if _, ok := s.mem[k]; !ok {
+			return
+		}
+		s.own()
+		delete(s.mem, k)
+		return
+	}
+	if s.mem == nil {
+		s.mem = make(map[cell]Interval)
+		s.shared = false
+	}
+	if len(s.mem) >= maxTrackedCells {
+		if _, ok := s.mem[k]; !ok {
+			return // at capacity: silently widen new cells to Top
+		}
+	}
+	s.own()
+	s.mem[k] = v
+}
+
+// dropCells removes every tracked cell for which keep returns false.
+func (s *state) dropCells(keep func(cell) bool) {
+	var doomed []cell
+	for k := range s.mem {
+		if !keep(k) {
+			doomed = append(doomed, k)
+		}
+	}
+	if len(doomed) == 0 {
+		return
+	}
+	s.own()
+	for _, k := range doomed {
+		delete(s.mem, k)
+	}
+}
+
+// eq reports whether two states carry identical abstract information.
+func (s *state) eq(o *state) bool {
+	if s.live != o.live {
+		return false
+	}
+	if !s.live {
+		return true
+	}
+	if s.regs != o.regs || s.orig != o.orig {
+		return false
+	}
+	if len(s.mem) != len(o.mem) {
+		return false
+	}
+	for k, v := range s.mem {
+		if ov, ok := o.mem[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// join computes the least upper bound of two states. Memory keys surviving
+// a join are the intersection of the operand key sets (absent means Top).
+func (s *state) join(o *state) state {
+	if !s.live {
+		return o.clone()
+	}
+	if !o.live {
+		return s.clone()
+	}
+	r := state{live: true}
+	for i := range r.regs {
+		r.regs[i] = s.regs[i].join(o.regs[i])
+		if s.orig[i] == o.orig[i] {
+			r.orig[i] = s.orig[i]
+		}
+	}
+	small, big := s.mem, o.mem
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for k, v := range small {
+		bv, ok := big[k]
+		if !ok {
+			continue
+		}
+		j := v.Join(bv)
+		if j.IsFull() {
+			continue
+		}
+		if r.mem == nil {
+			r.mem = make(map[cell]Interval, len(small))
+		}
+		r.mem[k] = j
+	}
+	return r
+}
+
+// widenFrom widens s (the previous iterate) with new, returning a state
+// that is an upper bound of both and stabilizes ascending chains.
+func (s *state) widenFrom(new *state) state {
+	if !s.live {
+		return new.clone()
+	}
+	if !new.live {
+		return s.clone()
+	}
+	r := state{live: true}
+	for i := range r.regs {
+		r.regs[i] = s.regs[i].widen(new.regs[i])
+		if s.orig[i] == new.orig[i] {
+			r.orig[i] = s.orig[i]
+		}
+	}
+	for k, v := range s.mem {
+		nv, ok := new.mem[k]
+		if !ok {
+			continue
+		}
+		w := v.Widen(nv)
+		if w.IsFull() {
+			continue
+		}
+		if r.mem == nil {
+			r.mem = make(map[cell]Interval, len(s.mem))
+		}
+		r.mem[k] = w
+	}
+	return r
+}

@@ -75,12 +75,27 @@ type Graph struct {
 	CallOrder []string
 }
 
-// Build constructs the whole-program graph.
+// Options tweaks graph construction.
+type Options struct {
+	// AllowMissingBounds builds loops without a #bound annotation with
+	// Bound == -1 instead of failing. Static value analysis uses this to
+	// derive bounds for unannotated counted loops; WCET composition still
+	// requires every bound to be resolved before timing.
+	AllowMissingBounds bool
+}
+
+// Build constructs the whole-program graph, requiring a #bound annotation
+// on every loop.
 func Build(prog *isa.Program) (*Graph, error) {
+	return BuildWithOptions(prog, Options{})
+}
+
+// BuildWithOptions constructs the whole-program graph.
+func BuildWithOptions(prog *isa.Program, opts Options) (*Graph, error) {
 	g := &Graph{Prog: prog, Funcs: make(map[string]*FuncGraph, len(prog.Funcs))}
 	calls := map[string][]string{}
 	for _, fn := range prog.Funcs {
-		fg, err := buildFunc(prog, fn)
+		fg, err := buildFunc(prog, fn, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +122,7 @@ func Build(prog *isa.Program) (*Graph, error) {
 	return g, nil
 }
 
-func buildFunc(prog *isa.Program, fn isa.FuncInfo) (*FuncGraph, error) {
+func buildFunc(prog *isa.Program, fn isa.FuncInfo, opts Options) (*FuncGraph, error) {
 	g := &FuncGraph{Prog: prog, Fn: fn}
 	n := fn.End - fn.Start
 
@@ -212,7 +227,7 @@ func buildFunc(prog *isa.Program, fn isa.FuncInfo) (*FuncGraph, error) {
 		}
 	}
 
-	if err := findLoops(g); err != nil {
+	if err := findLoops(g, opts); err != nil {
 		return nil, err
 	}
 	return g, nil
@@ -277,7 +292,7 @@ func dominators(g *FuncGraph) [][]bool {
 	return dom
 }
 
-func findLoops(g *FuncGraph) error {
+func findLoops(g *FuncGraph, opts Options) error {
 	dom := dominators(g)
 
 	// Natural loops from back edges; loops sharing a header are merged.
@@ -376,13 +391,49 @@ func findLoops(g *FuncGraph) error {
 				bound = b
 			}
 		}
-		if bound < 0 {
-			return fmt.Errorf("cfg: %s: loop with header at pc %d has no #bound annotation",
-				g.Fn.Name, g.Blocks[l.Header].Start)
+		if bound < 0 && !opts.AllowMissingBounds {
+			return missingBoundErr(g, l)
 		}
 		l.Bound = bound
 	}
 	return nil
+}
+
+// missingBoundErr describes an unannotated loop precisely enough to fix it:
+// the enclosing function, the loop-head pc, the nearest preceding source
+// label, and the back-edge branch that needs the "#bound N" annotation.
+func missingBoundErr(g *FuncGraph, l *Loop) error {
+	headPC := g.Blocks[l.Header].Start
+	near := ""
+	if lbl, pc, ok := nearestLabel(g.Prog, g.Fn, headPC); ok {
+		if pc == headPC {
+			near = fmt.Sprintf(" (label %q)", lbl)
+		} else {
+			near = fmt.Sprintf(" (%d past label %q)", headPC-pc, lbl)
+		}
+	}
+	backPC := -1
+	for _, tail := range l.Tails {
+		if pc := g.Blocks[tail].LastPC(); pc > backPC {
+			backPC = pc
+		}
+	}
+	return fmt.Errorf("cfg: function %s: loop with head at pc %d%s has no #bound annotation; annotate its back-edge branch at pc %d with \"#bound N\"",
+		g.Fn.Name, headPC, near, backPC)
+}
+
+// nearestLabel finds the closest code label at or before pc inside fn.
+func nearestLabel(prog *isa.Program, fn isa.FuncInfo, pc int) (string, int, bool) {
+	best, bestPC := "", -1
+	for name, lpc := range prog.Labels {
+		if lpc < fn.Start || lpc > pc {
+			continue
+		}
+		if lpc > bestPC || (lpc == bestPC && name < best) {
+			best, bestPC = name, lpc
+		}
+	}
+	return best, bestPC, bestPC >= 0
 }
 
 func containsAll(outer, inner map[int]bool) bool {

@@ -1,6 +1,8 @@
 package cfg
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"visa/internal/isa"
@@ -159,6 +161,62 @@ void main() {
 }`)
 	fg := g.Funcs["main"]
 	if len(fg.Loops) != 1 || fg.Loops[0].Bound != 12 {
+		t.Fatalf("loops = %+v", fg.Loops)
+	}
+}
+
+// TestMissingBoundDiagnostic: the error must name the function, the
+// loop-head pc, the nearest source label, and the branch to annotate.
+func TestMissingBoundDiagnostic(t *testing.T) {
+	prog := isa.MustAssemble("t", `
+.text
+.func compute
+    li r1, 3
+inner:
+    addi r1, r1, -1
+    bne r1, r0, inner
+    jr r31
+.endfunc
+.func main
+    jal compute
+    halt
+.endfunc`)
+	_, err := Build(prog)
+	if err == nil {
+		t.Fatal("loop without #bound accepted")
+	}
+	msg := err.Error()
+	for _, part := range []string{"function compute", `label "inner"`, "#bound", "back-edge branch at pc"} {
+		if !strings.Contains(msg, part) {
+			t.Errorf("diagnostic %q missing %q", msg, part)
+		}
+	}
+	// The head pc must be the real loop header (the label's instruction).
+	fg, _ := BuildWithOptions(prog, Options{AllowMissingBounds: true})
+	head := fg.Funcs["compute"].Blocks[fg.Funcs["compute"].Loops[0].Header].Start
+	if !strings.Contains(msg, fmt.Sprintf("pc %d", head)) {
+		t.Errorf("diagnostic %q missing head pc %d", msg, head)
+	}
+}
+
+// TestAllowMissingBounds: the lenient build marks the loop with Bound -1
+// instead of failing, for the value analysis to fill in.
+func TestAllowMissingBounds(t *testing.T) {
+	prog := isa.MustAssemble("t", `
+.text
+.func main
+    li r1, 3
+loop:
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+.endfunc`)
+	g, err := BuildWithOptions(prog, Options{AllowMissingBounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := g.Funcs["main"]
+	if len(fg.Loops) != 1 || fg.Loops[0].Bound != -1 {
 		t.Fatalf("loops = %+v", fg.Loops)
 	}
 }

@@ -246,14 +246,8 @@ func (m *Machine) execute(in isa.Inst, d *DynInst) error {
 	case isa.SD:
 		d.Addr = uint32(rs + in.Imm)
 		return m.Mem.WriteDouble(d.Addr, m.F[in.Rd])
-	case isa.BEQ:
-		m.branch(d, rs == rt, in.Imm)
-	case isa.BNE:
-		m.branch(d, rs != rt, in.Imm)
-	case isa.BLT:
-		m.branch(d, rs < rt, in.Imm)
-	case isa.BGE:
-		m.branch(d, rs >= rt, in.Imm)
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		m.branch(d, in.Op.BranchCond().Holds(rs, rt), in.Imm)
 	case isa.J:
 		m.branch(d, true, in.Imm)
 	case isa.JAL:

@@ -1,0 +1,76 @@
+package isa
+
+// Cond is the architectural comparison a conditional direct branch applies
+// to its two integer register operands (Rs on the left, Rt on the right).
+// Exposing it lets the functional executor and the static value analysis
+// share one definition of branch semantics.
+type Cond uint8
+
+// Branch conditions.
+const (
+	CondNone Cond = iota // not a conditional branch
+	CondEQ               // Rs == Rt
+	CondNE               // Rs != Rt
+	CondLT               // Rs <  Rt (signed)
+	CondGE               // Rs >= Rt (signed)
+)
+
+// BranchCond returns the condition op applies when it is a conditional
+// direct branch, and CondNone otherwise.
+func (op Op) BranchCond() Cond {
+	switch op {
+	case BEQ:
+		return CondEQ
+	case BNE:
+		return CondNE
+	case BLT:
+		return CondLT
+	case BGE:
+		return CondGE
+	}
+	return CondNone
+}
+
+// Negated returns the condition that holds exactly when c does not.
+func (c Cond) Negated() Cond {
+	switch c {
+	case CondEQ:
+		return CondNE
+	case CondNE:
+		return CondEQ
+	case CondLT:
+		return CondGE
+	case CondGE:
+		return CondLT
+	}
+	return CondNone
+}
+
+// Holds evaluates the condition on concrete operand values.
+func (c Cond) Holds(a, b int32) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondGE:
+		return a >= b
+	}
+	return false
+}
+
+func (c Cond) String() string {
+	switch c {
+	case CondEQ:
+		return "=="
+	case CondNE:
+		return "!="
+	case CondLT:
+		return "<"
+	case CondGE:
+		return ">="
+	}
+	return "?"
+}

@@ -3,6 +3,7 @@ package wcet
 import (
 	"fmt"
 
+	"visa/internal/absint"
 	"visa/internal/cache"
 	"visa/internal/cfg"
 	"visa/internal/exec"
@@ -29,6 +30,11 @@ type Analyzer struct {
 	// reference is simulated as a miss.
 	staticDC     bool
 	staticDCFits bool
+
+	// valueRep, when non-nil, carries the abstract-interpretation results
+	// (value.go): path enumeration prunes statically dead edges and the
+	// static D-cache analysis uses proven access ranges.
+	valueRep *absint.Report
 
 	pathsMemo map[loopKey]loopPathsVal
 	sumMemo   map[sumKey]int64
@@ -72,6 +78,12 @@ func New(prog *isa.Program) (*Analyzer, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newFromGraph(prog, g)
+}
+
+// newFromGraph finishes analyzer construction from an already-built graph
+// (New and NewWithValueAnalysis differ only in how the graph is prepared).
+func newFromGraph(prog *isa.Program, g *cfg.Graph) (*Analyzer, error) {
 	a := &Analyzer{
 		Prog:          prog,
 		Graph:         g,

@@ -39,6 +39,10 @@ type StaticDCacheResult struct {
 	// Fits reports whether the working set is persistent (per-set distinct
 	// blocks <= associativity).
 	Fits bool
+	// Refined reports that the value analysis bounded every data access, so
+	// the touched set covers only the proven access ranges instead of the
+	// whole data segment.
+	Refined bool
 }
 
 // stackSlack bounds the caller-save spill area one call site can push
@@ -68,8 +72,20 @@ func (a *Analyzer) UseStaticDCache() (StaticDCacheResult, error) {
 			perSet[set][blk] = true
 		}
 	}
+	// Data segment: with value analysis, only the proven access ranges are
+	// touched; otherwise (or when any data access is unbounded) the whole
+	// segment is assumed touched.
 	if len(a.Prog.Data) > 0 {
-		touch(isa.DataBase, isa.DataBase+uint32(len(a.Prog.Data)))
+		ranges := []byteRange{{isa.DataBase, isa.DataBase + uint32(len(a.Prog.Data))}}
+		if a.valueRep != nil {
+			if rs, ok := a.dataAccessRanges(); ok {
+				ranges = rs
+				res.Refined = true
+			}
+		}
+		for _, r := range ranges {
+			touch(r.lo, r.hi)
+		}
 	}
 	if stack > 0 {
 		touch(isa.StackTop-uint32(stack), isa.StackTop)

@@ -42,8 +42,15 @@ type enumerator struct {
 	fg    *cfg.FuncGraph
 	loop  *cfg.Loop // nil for function top level
 	stop  func(pc int) bool
+	prune bool // skip CFG edges the value analysis proved infeasible
 	out   []path
 	stack []step
+}
+
+// deadSucc reports whether the edge from block bid to block sid should be
+// pruned in this walk.
+func (e *enumerator) deadSucc(bid, sid int) bool {
+	return e.prune && e.a.deadEdge(e.fg.Fn.Name, bid, sid)
 }
 
 func (e *enumerator) emit(kind pathKind) error {
@@ -103,6 +110,9 @@ func (e *enumerator) walkBlock(bid, fromPC int) error {
 	}
 
 	for _, s := range b.Succs {
+		if e.deadSucc(b.ID, s) {
+			continue
+		}
 		// Record the branch direction this successor implies.
 		if last.Op.IsCondBranch() {
 			e.stack[len(e.stack)-1].taken = e.fg.Blocks[s].Start == int(last.Imm)
@@ -178,16 +188,30 @@ func (e *enumerator) innerLoopAt(sid int) *cfg.Loop {
 }
 
 // loopExitTargets lists the distinct blocks execution can reach when loop l
-// terminates, in deterministic order.
+// terminates, in deterministic order. Exit edges proved infeasible are
+// skipped; if pruning removes every exit, the unpruned set is used so the
+// walk never silently loses the continuation after an inner loop.
 func (e *enumerator) loopExitTargets(l *cfg.Loop) []int {
+	out := e.exitTargets(l, e.prune)
+	if len(out) == 0 && e.prune {
+		out = e.exitTargets(l, false)
+	}
+	return out
+}
+
+func (e *enumerator) exitTargets(l *cfg.Loop, prune bool) []int {
 	seen := map[int]bool{}
 	var out []int
 	for bid := range l.Blocks {
 		for _, s := range e.fg.Blocks[bid].Succs {
-			if !l.Blocks[s] && !seen[s] {
-				seen[s] = true
-				out = append(out, s)
+			if l.Blocks[s] || seen[s] {
+				continue
 			}
+			if prune && e.a.deadEdge(e.fg.Fn.Name, bid, s) {
+				continue
+			}
+			seen[s] = true
+			out = append(out, s)
 		}
 	}
 	sortInts(out)
@@ -203,9 +227,29 @@ func sortInts(s []int) {
 }
 
 // loopPaths enumerates body and exit paths of loop l, starting at its
-// header.
+// header. With value analysis, infeasible edges are pruned; if pruning
+// leaves a path class empty that the timing model needs, the unpruned
+// enumeration is used instead (sound, just looser).
 func (a *Analyzer) loopPaths(fg *cfg.FuncGraph, l *cfg.Loop) (body, exit []path, err error) {
-	e := &enumerator{a: a, fg: fg, loop: l}
+	body, exit, err = a.enumLoop(fg, l, a.valueRep != nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if a.valueRep != nil && (len(body) == 0 || len(exit) == 0) {
+		body, exit, err = a.enumLoop(fg, l, false)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(body) == 0 {
+		hb := fg.Blocks[l.Header]
+		return nil, nil, fmt.Errorf("wcet: %s: loop at pc %d has no body path", fg.Fn.Name, hb.Start)
+	}
+	return body, exit, nil
+}
+
+func (a *Analyzer) enumLoop(fg *cfg.FuncGraph, l *cfg.Loop, prune bool) (body, exit []path, err error) {
+	e := &enumerator{a: a, fg: fg, loop: l, prune: prune}
 	hb := fg.Blocks[l.Header]
 	if err := e.walkBlock(l.Header, hb.Start); err != nil {
 		return nil, nil, err
@@ -220,14 +264,13 @@ func (a *Analyzer) loopPaths(fg *cfg.FuncGraph, l *cfg.Loop) (body, exit []path,
 			return nil, nil, fmt.Errorf("wcet: %s: sub-task MARK inside a loop is not supported", fg.Fn.Name)
 		}
 	}
-	if len(body) == 0 {
-		return nil, nil, fmt.Errorf("wcet: %s: loop at pc %d has no body path", fg.Fn.Name, hb.Start)
-	}
 	return body, exit, nil
 }
 
 // regionPaths enumerates paths from startPC to the next MARK boundary (when
 // stopAtMarks), a return, or a halt, at the top level of the function.
+// Pruning falls back to the unpruned walk if it leaves the region with no
+// path at all.
 func (a *Analyzer) regionPaths(fg *cfg.FuncGraph, startPC int, stopAtMarks bool) ([]path, error) {
 	var stop func(int) bool
 	if stopAtMarks {
@@ -235,10 +278,20 @@ func (a *Analyzer) regionPaths(fg *cfg.FuncGraph, startPC int, stopAtMarks bool)
 			return pc != startPC && fg.Prog.Code[pc].Op == isa.MARK
 		}
 	}
-	e := &enumerator{a: a, fg: fg, stop: stop}
-	b := fg.BlockAt(startPC)
-	if err := e.walkBlock(b.ID, startPC); err != nil {
+	walk := func(prune bool) ([]path, error) {
+		e := &enumerator{a: a, fg: fg, stop: stop, prune: prune}
+		b := fg.BlockAt(startPC)
+		if err := e.walkBlock(b.ID, startPC); err != nil {
+			return nil, err
+		}
+		return e.out, nil
+	}
+	out, err := walk(a.valueRep != nil)
+	if err != nil {
 		return nil, err
 	}
-	return e.out, nil
+	if len(out) == 0 && a.valueRep != nil {
+		return walk(false)
+	}
+	return out, nil
 }

@@ -1,0 +1,129 @@
+package wcet
+
+import (
+	"fmt"
+
+	"visa/internal/absint"
+	"visa/internal/cfg"
+	"visa/internal/isa"
+)
+
+// Integration of the abstract-interpretation value analysis
+// (internal/absint) with the timing analyzer. The value analysis is a
+// whole-program interval analysis over the same CFG the timing model walks;
+// it contributes three things, all of which can only tighten the bound:
+//
+//   - Bound validation and derivation: every #bound annotation is checked
+//     against the bound the analysis derives from the loop's arithmetic.
+//     An understated annotation makes the WCET unsound and is a hard
+//     error; loops whose derived bound is smaller than the annotation use
+//     the derived bound; unannotated counted loops get the derived bound.
+//   - Infeasible-path pruning: CFG edges the analysis proves can never be
+//     taken are skipped during path enumeration (paths.go), with an
+//     unpruned fallback whenever pruning would leave a scope without the
+//     path class the timing model needs.
+//   - Access-range refinement: the static D-cache working set (dcache.go)
+//     shrinks from "the whole data segment" to the union of the proven
+//     data-access ranges.
+
+// NewWithValueAnalysis builds an analyzer like New, but first runs the
+// value analysis and wires its results into bound selection, path
+// enumeration, and the static D-cache analysis. The returned findings
+// describe every loop bound (validated, tightened, derived); the error is
+// non-nil when any annotation is understated or any loop is left without a
+// usable bound.
+func NewWithValueAnalysis(prog *isa.Program) (*Analyzer, []absint.BoundFinding, error) {
+	g, err := cfg.BuildWithOptions(prog, cfg.Options{AllowMissingBounds: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := absint.Analyze(g)
+	findings := absint.ValidateBounds(g, rep)
+	for _, f := range findings {
+		switch f.Status {
+		case absint.BoundUnsound, absint.BoundUnknown:
+			return nil, findings, fmt.Errorf("%s: %v", prog.Name, f)
+		}
+	}
+	// Effective bound = min(annotated, derived). The derived bound is a
+	// sound iteration count, so when it undercuts the annotation it tightens
+	// the loop summary; otherwise the validated annotation stays in charge.
+	for _, f := range findings {
+		if f.Derived < 0 {
+			continue
+		}
+		l := g.Funcs[f.Fn].Loops[f.LoopID]
+		if l.Bound < 0 || f.Derived < l.Bound {
+			l.Bound = f.Derived
+		}
+	}
+	a, err := newFromGraph(prog, g)
+	if err != nil {
+		return nil, findings, err
+	}
+	a.valueRep = rep
+	return a, findings, nil
+}
+
+// deadEdge reports whether the value analysis proved the CFG edge
+// from -> to in fn infeasible. Always false without value analysis.
+func (a *Analyzer) deadEdge(fn string, from, to int) bool {
+	if a.valueRep == nil {
+		return false
+	}
+	fr := a.valueRep.Funcs[fn]
+	return fr != nil && fr.DeadEdge(from, to)
+}
+
+// byteRange is a half-open [lo, hi) range of byte addresses.
+type byteRange struct{ lo, hi uint32 }
+
+// dataAccessRanges returns the data-segment byte ranges the value analysis
+// proves the program's loads and stores can touch, clamped to the segment.
+// ok is false when some access might touch the data segment without a
+// bounded address range, in which case the caller must assume the whole
+// segment is touched.
+func (a *Analyzer) dataAccessRanges() ([]byteRange, bool) {
+	dataLo := int64(isa.DataBase)
+	dataHi := dataLo + int64(len(a.Prog.Data))
+	var out []byteRange
+	for _, name := range a.Graph.CallOrder {
+		fr := a.valueRep.Funcs[name]
+		if fr == nil {
+			continue
+		}
+		for _, acc := range fr.Addrs {
+			ad := acc.Addr
+			if ad.SPRel {
+				continue // covered by the worst-case stack window
+			}
+			if ad.I.IsFull() || (ad.I.Lo < 0 && ad.I.Hi >= 0) {
+				return nil, false // may land anywhere, including the data segment
+			}
+			lo := int64(uint32(ad.I.Lo))
+			hi := int64(uint32(ad.I.Hi)) + int64(acc.Size)
+			if hi <= dataLo || lo >= dataHi {
+				continue // provably outside the data segment (stack or MMIO)
+			}
+			out = append(out, byteRange{
+				lo: uint32(max64(lo, dataLo)),
+				hi: uint32(min64(hi, dataHi)),
+			})
+		}
+	}
+	return out, true
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+package wcet
+
+import (
+	"strings"
+	"testing"
+
+	"visa/internal/absint"
+	"visa/internal/clab"
+	"visa/internal/isa"
+	"visa/internal/minic"
+)
+
+// TestValueAnalysisTightensWCET is the pruning-regression gate: on every
+// C-lab benchmark, the value-analysis-assisted bound must never exceed the
+// plain bound (pruning and derived bounds can only tighten) while still
+// dominating the observed execution on the simple pipeline.
+func TestValueAnalysisTightensWCET(t *testing.T) {
+	seeds := []int32{0, 1, -12345}
+	for _, b := range clab.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog := b.MustProgram()
+
+			plain, err := New(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := plain.UseStaticDCache(); err != nil {
+				t.Fatal(err)
+			}
+			plainRes, err := plain.Analyze(1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			av, findings, err := NewWithValueAnalysis(prog)
+			if err != nil {
+				t.Fatalf("value analysis rejected a correct benchmark: %v", err)
+			}
+			for _, f := range findings {
+				if f.Status == absint.BoundUnsound || f.Status == absint.BoundUnknown {
+					t.Errorf("finding should have been an error: %v", f)
+				}
+			}
+			if _, err := av.UseStaticDCache(); err != nil {
+				t.Fatal(err)
+			}
+			avRes, err := av.Analyze(1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if avRes.Total > plainRes.Total {
+				t.Errorf("value analysis grew WCET: %d > %d", avRes.Total, plainRes.Total)
+			}
+			for _, seed := range seeds {
+				durs, _, total := profileSimple(t, prog, seed, 1000)
+				if avRes.Total < total {
+					t.Errorf("seed %d: WCET %d < actual %d (UNSAFE)", seed, avRes.Total, total)
+				}
+				for i, d := range durs {
+					if avRes.SubTasks[i] < d {
+						t.Errorf("seed %d sub-task %d: WCET %d < actual %d (UNSAFE)",
+							seed, i, avRes.SubTasks[i], d)
+					}
+				}
+			}
+			t.Logf("%s: plain=%d value=%d (%.2f%%)", b.Name, plainRes.Total, avRes.Total,
+				100*float64(avRes.Total)/float64(plainRes.Total))
+		})
+	}
+}
+
+// TestValueAnalysisRejectsUnderstatedBound drives the acceptance-criteria
+// fixture through the WCET entry point: an annotation below the derived
+// iteration count must fail construction with a precise diagnostic.
+func TestValueAnalysisRejectsUnderstatedBound(t *testing.T) {
+	prog := minic.MustCompile("lie.c", `
+int acc = 0;
+void main() {
+	int i;
+	for __bound(3) (i = 0; i < 10; i = i + 1) {
+		acc = acc + i;
+	}
+	__out(acc);
+}`)
+	_, findings, err := NewWithValueAnalysis(prog)
+	if err == nil {
+		t.Fatal("understated annotation accepted")
+	}
+	for _, part := range []string{"UNSOUND", "annotated 3", "derived 10", "main"} {
+		if !strings.Contains(err.Error(), part) {
+			t.Errorf("error %q missing %q", err, part)
+		}
+	}
+	if len(findings) == 0 {
+		t.Error("no findings returned alongside the error")
+	}
+}
+
+// TestValueAnalysisPrunesDeadPath: a branch decided by a compile-time
+// constant must shrink WCET relative to the plain analyzer, which charges
+// the worst of both arms.
+func TestValueAnalysisPrunesDeadPath(t *testing.T) {
+	prog := minic.MustCompile("dead.c", `
+int acc = 0;
+void main() {
+	int mode = 0;
+	int i;
+	for (i = 0; i < 50; i = i + 1) {
+		if (mode == 1) {
+			acc = acc + i * i / 3 % 7 + i * acc;
+		} else {
+			acc = acc + 1;
+		}
+	}
+	__out(acc);
+}`)
+	plain, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRes, err := plain.Analyze(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _, err := NewWithValueAnalysis(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avRes, err := av.Analyze(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avRes.Total >= plainRes.Total {
+		t.Errorf("dead expensive arm not pruned: value %d >= plain %d", avRes.Total, plainRes.Total)
+	}
+}
+
+// TestValueAnalysisDerivesMissingBound: a hand-written counted loop with no
+// #bound annotation is rejected by the plain path but analyzes under the
+// value analysis, with the bound derived from the counter arithmetic.
+func TestValueAnalysisDerivesMissingBound(t *testing.T) {
+	prog := isa.MustAssemble("fill", `
+.text
+.func main
+    li r1, 0
+    li r2, 12
+loop:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+.endfunc`)
+	if _, err := New(prog); err == nil {
+		t.Fatal("plain analyzer accepted an unannotated loop")
+	}
+	av, findings, err := NewWithValueAnalysis(prog)
+	if err != nil {
+		t.Fatalf("value analysis failed: %v", err)
+	}
+	res, err := av.Analyze(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total <= 0 {
+		t.Error("no WCET computed")
+	}
+	// i counts 1..12 at the branch; the back edge is taken for i = 1..11.
+	found := false
+	for _, f := range findings {
+		if f.Status == absint.BoundFilled && f.Derived == 11 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a filled bound of 11, findings: %v", findings)
+	}
+}
