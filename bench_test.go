@@ -6,12 +6,14 @@
 package visa_test
 
 import (
+	"io"
 	"testing"
 
 	"visa/internal/cache"
 	"visa/internal/clab"
 	"visa/internal/exec"
 	"visa/internal/memsys"
+	"visa/internal/obs"
 	"visa/internal/ooo"
 	"visa/internal/rt"
 	"visa/internal/simple"
@@ -26,7 +28,7 @@ func BenchmarkTable3(b *testing.B) {
 	var rows []rt.Table3Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = rt.Table3(clab.All())
+		rows, err = rt.Table3(clab.All(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +49,7 @@ func BenchmarkFigure2(b *testing.B) {
 	var rows []rt.SavingsRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, rows, err = rt.Figure2(clab.All(), benchInstances)
+		_, rows, err = rt.Figure2(clab.All(), benchInstances, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +75,7 @@ func BenchmarkFigure3(b *testing.B) {
 	var rows []rt.SavingsRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, rows, err = rt.Figure3(clab.All(), benchInstances)
+		_, rows, err = rt.Figure3(clab.All(), benchInstances, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +94,7 @@ func BenchmarkFigure4(b *testing.B) {
 	var rows []rt.SavingsRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, rows, err = rt.Figure4(clab.All(), benchInstances)
+		_, rows, err = rt.Figure4(clab.All(), benchInstances, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,6 +104,45 @@ func BenchmarkFigure4(b *testing.B) {
 		missed += r.Complex.MissedTasks
 	}
 	b.ReportMetric(float64(missed), "missed-checkpoints")
+}
+
+// benchmarkRunProcessor drives the complex processor's full periodic
+// experiment with the given instrumentation sink. Comparing ObsOff and ObsOn
+// bounds the cost of the observability layer; ObsOff versus the pre-obs
+// baseline is the disabled-path overhead, which must stay within 2%.
+func benchmarkRunProcessor(b *testing.B, sink *obs.Sink) {
+	s, err := rt.GetSetup(clab.ByName("cnt"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rt.RunProcessor(s, true, rt.Config{
+			Tight: true, Instances: benchInstances, Obs: sink,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DeadlineViolations != 0 {
+			b.Fatal("deadline violated")
+		}
+	}
+}
+
+// BenchmarkRunProcessorObsOff is the disabled instrumentation path: a nil
+// sink, so every obs call site is a nil-receiver no-op.
+func BenchmarkRunProcessorObsOff(b *testing.B) {
+	benchmarkRunProcessor(b, nil)
+}
+
+// BenchmarkRunProcessorObsOn runs with all three surfaces attached (tracer,
+// metrics to io.Discard, counter registry).
+func BenchmarkRunProcessorObsOn(b *testing.B) {
+	benchmarkRunProcessor(b, &obs.Sink{
+		Trace:    obs.NewTracer(),
+		Metrics:  obs.NewMetricsWriter(io.Discard, obs.FormatJSONL),
+		Registry: obs.NewRegistry(),
+	})
 }
 
 // feedBenchmark drives one functional execution of a benchmark through a

@@ -1,21 +1,28 @@
 // Command experiments regenerates the paper's evaluation: Table 3 and
 // Figures 2, 3, and 4, running 200 task instances per configuration (or
-// fewer with -n for a quick look).
+// fewer with -n for a quick look). With -metrics, each experiment also
+// streams machine-readable records (one JSON object per line) into the
+// given directory: table3.jsonl carries the printed rows plus per-sub-task
+// WCET bounds, and fig{2,3,4}.jsonl carry a kind:"instance" record per task
+// instance plus a kind:"summary" record per processor comparison.
 //
 // Usage:
 //
 //	experiments [-n 200] [-table3] [-fig2] [-fig3] [-fig4] [-spec] [-all]
+//	            [-metrics dir]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"visa/internal/cache"
 	"visa/internal/clab"
 	"visa/internal/isa"
 	"visa/internal/memsys"
+	"visa/internal/obs"
 	"visa/internal/ooo"
 	"visa/internal/rt"
 )
@@ -28,35 +35,67 @@ func main() {
 	f4 := flag.Bool("fig4", false, "regenerate Figure 4")
 	spec := flag.Bool("spec", false, "print the modelled configuration (Table 1, §3.2)")
 	all := flag.Bool("all", false, "run everything")
+	metricsDir := flag.String("metrics", "", "directory for machine-readable metrics (JSONL per experiment)")
 	flag.Parse()
 
 	if !*t3 && !*f2 && !*f3 && !*f4 && !*spec && !*all {
 		*all = true
 	}
 	benches := clab.All()
+	if *metricsDir != "" {
+		check(os.MkdirAll(*metricsDir, 0o755))
+	}
 
 	if *spec || *all {
 		printSpec()
 	}
 	if *t3 || *all {
-		rows, err := rt.Table3(benches)
+		sink, done := metricsSink(*metricsDir, "table3.jsonl")
+		rows, err := rt.Table3(benches, sink)
 		check(err)
+		check(done())
 		fmt.Println(rt.FormatTable3(rows))
 	}
 	if *f2 || *all {
-		out, _, err := rt.Figure2(benches, *n)
+		sink, done := metricsSink(*metricsDir, "fig2.jsonl")
+		out, _, err := rt.Figure2(benches, *n, sink)
 		check(err)
+		check(done())
 		fmt.Println(out)
 	}
 	if *f3 || *all {
-		out, _, err := rt.Figure3(benches, *n)
+		sink, done := metricsSink(*metricsDir, "fig3.jsonl")
+		out, _, err := rt.Figure3(benches, *n, sink)
 		check(err)
+		check(done())
 		fmt.Println(out)
 	}
 	if *f4 || *all {
-		out, _, err := rt.Figure4(benches, *n)
+		sink, done := metricsSink(*metricsDir, "fig4.jsonl")
+		out, _, err := rt.Figure4(benches, *n, sink)
 		check(err)
+		check(done())
 		fmt.Println(out)
+	}
+}
+
+// metricsSink opens dir/name as a metrics stream, returning the sink to
+// pass into the experiment and a closer that flushes and reports errors.
+// With no -metrics directory it returns a nil sink (instrumentation off).
+func metricsSink(dir, name string) (*obs.Sink, func() error) {
+	if dir == "" {
+		return nil, func() error { return nil }
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	check(err)
+	mw := obs.NewMetricsWriter(f, obs.FormatForPath(path))
+	return &obs.Sink{Metrics: mw}, func() error {
+		if err := mw.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 }
 

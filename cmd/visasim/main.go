@@ -3,17 +3,27 @@
 //
 // Usage:
 //
-//	visasim [-proc simple|complex] [-mhz 1000] [-runs 1] [-bench name | file.c]
+//	visasim [-proc simple|complex] [-mhz 1000] [-runs 1]
+//	        [-trace out.json] [-metrics out.jsonl|out.csv]
+//	        (-bench name | file.c)
 //
 // With -bench it runs one of the embedded C-lab benchmarks; otherwise it
 // compiles and runs the given mini-C file. Multiple -runs share cache and
 // predictor state, showing cold-versus-steady behaviour.
+//
+// -trace writes a Chrome trace-event (catapult) JSON file with one slice
+// per run and per sub-task plus cache-miss counter tracks; load it at
+// https://ui.perfetto.dev or chrome://tracing. -metrics streams one
+// machine-readable record per run and per sub-task, then the full counter
+// registry, as JSONL (or CSV for .csv paths). Both outputs use simulated
+// time only and are byte-identical across repeated runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"visa/internal/cache"
 	"visa/internal/clab"
@@ -22,8 +32,15 @@ import (
 	"visa/internal/isa"
 	"visa/internal/memsys"
 	"visa/internal/minic"
+	"visa/internal/obs"
 	"visa/internal/ooo"
 	"visa/internal/simple"
+)
+
+// Trace lanes within the single visasim process.
+const (
+	tidRun = 1
+	tidSub = 2
 )
 
 func main() {
@@ -31,6 +48,8 @@ func main() {
 	mhz := flag.Int("mhz", 1000, "core frequency in MHz")
 	runs := flag.Int("runs", 1, "consecutive task executions (warm caches)")
 	bench := flag.String("bench", "", "embedded C-lab benchmark name")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
+	metricsPath := flag.String("metrics", "", "write per-run/per-sub-task metrics (JSONL, or CSV for .csv)")
 	flag.Parse()
 
 	var prog *isa.Program
@@ -39,7 +58,8 @@ func main() {
 	case *bench != "":
 		b := clab.ByName(*bench)
 		if b == nil {
-			fatal(fmt.Errorf("unknown benchmark %q (have adpcm cnt fft lms mm srt)", *bench))
+			fatal(fmt.Errorf("unknown benchmark %q (have %s)",
+				*bench, strings.Join(clab.Names(), " ")))
 		}
 		prog, err = b.Program()
 	case flag.NArg() == 1:
@@ -55,7 +75,8 @@ func main() {
 			}
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: visasim [-proc simple|complex] [-mhz N] [-runs N] (-bench name | file.c)")
+		fmt.Fprintln(os.Stderr,
+			"usage: visasim [-proc simple|complex] [-mhz N] [-runs N] [-trace out.json] [-metrics out.jsonl] (-bench name | file.c)")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -66,6 +87,11 @@ func main() {
 	dc := cache.New(cache.VISAL1)
 	bus := memsys.NewBus(memsys.Default, *mhz)
 
+	reg := obs.NewRegistry()
+	ic.RegisterObs(reg, "icache")
+	dc.RegisterObs(reg, "dcache")
+	bus.RegisterObs(reg, "bus")
+
 	var feed func(*exec.DynInst) int64
 	var now func() int64
 	var rebase func(int64)
@@ -73,17 +99,59 @@ func main() {
 	case "simple":
 		p := simple.New(ic, dc, bus)
 		feed, now, rebase = p.Feed, p.Now, p.Rebase
+		p.RegisterObs(reg, "pipe")
 	case "complex":
 		p := ooo.New(ooo.Config{}, ic, dc, bus)
 		feed, now, rebase = p.Feed, p.Now, p.Rebase
+		p.RegisterObs(reg, "pipe")
 	default:
 		fatal(fmt.Errorf("unknown processor %q", *proc))
 	}
 
+	var tr *obs.Tracer
+	if *tracePath != "" {
+		tr = obs.NewTracer()
+	}
+	var mw *obs.MetricsWriter
+	var mf *os.File
+	if *metricsPath != "" {
+		mf, err = os.Create(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		mw = obs.NewMetricsWriter(mf, obs.FormatForPath(*metricsPath))
+	}
+
+	taskName := prog.Name
+	pid := tr.Pid(taskName + "/" + *proc)
+	tr.ThreadName(pid, tidRun, "runs")
+	tr.ThreadName(pid, tidSub, "sub-tasks")
+	toNs := func(c int64) float64 { return float64(c) * 1000 / float64(*mhz) }
+
 	m := exec.New(prog)
+	baseNs := 0.0 // accumulated time of previous runs (rebase resets the clock)
 	for r := 0; r < *runs; r++ {
 		m.Reset()
 		rebase(0)
+		icPrev, dcPrev := ic.Stats(), dc.Stats()
+		curSub, subStart := -1, int64(0)
+		closeSub := func(end int64) {
+			if curSub < 0 {
+				return
+			}
+			tr.Complete(pid, tidSub, "subtask", fmt.Sprintf("sub-task %d", curSub),
+				baseNs+toNs(subStart), toNs(end-subStart),
+				obs.A("run", r), obs.A("sub_task", curSub))
+			mw.Write(obs.Record{
+				obs.F("kind", "subtask"),
+				obs.F("task", taskName),
+				obs.F("proc", *proc),
+				obs.F("run", r),
+				obs.F("sub_task", curSub),
+				obs.F("cycles", end-subStart),
+				obs.F("time_ns", toNs(end-subStart)),
+			})
+		}
 		for {
 			d, ok, err := m.Step()
 			if err != nil {
@@ -92,10 +160,37 @@ func main() {
 			if !ok {
 				break
 			}
+			if d.Inst.Op == isa.MARK {
+				t := now()
+				closeSub(t)
+				curSub, subStart = int(d.Inst.Imm), t
+			}
 			feed(&d)
 		}
 		cyc := now()
-		us := float64(cyc) * 1000 / float64(*mhz) / 1000
+		closeSub(cyc)
+		icD, dcD := ic.Stats().Delta(icPrev), dc.Stats().Delta(dcPrev)
+		tr.Complete(pid, tidRun, "run", fmt.Sprintf("run %d", r+1),
+			baseNs, toNs(cyc),
+			obs.A("instructions", m.Seq), obs.A("cycles", cyc),
+			obs.A("ipc", float64(m.Seq)/float64(cyc)))
+		tr.Counter(pid, "cache misses", baseNs+toNs(cyc),
+			obs.A("icache", icD.Misses), obs.A("dcache", dcD.Misses))
+		mw.Write(obs.Record{
+			obs.F("kind", "run"),
+			obs.F("task", taskName),
+			obs.F("proc", *proc),
+			obs.F("run", r),
+			obs.F("instructions", m.Seq),
+			obs.F("cycles", cyc),
+			obs.F("time_ns", toNs(cyc)),
+			obs.F("ipc", float64(m.Seq)/float64(cyc)),
+			obs.F("icache_misses", icD.Misses),
+			obs.F("dcache_misses", dcD.Misses),
+		})
+		baseNs += toNs(cyc)
+
+		us := toNs(cyc) / 1000
 		fmt.Printf("run %d: %d instructions, %d cycles (%.1f us at %d MHz), IPC %.2f\n",
 			r+1, m.Seq, cyc, us, *mhz, float64(m.Seq)/float64(cyc))
 	}
@@ -108,6 +203,44 @@ func main() {
 	}
 	if len(m.OutF) > 0 {
 		fmt.Printf("outf: %v\n", m.OutF)
+	}
+
+	for _, s := range reg.Snapshot() {
+		rec := obs.Record{
+			obs.F("kind", "counter"),
+			obs.F("task", taskName),
+			obs.F("proc", *proc),
+			obs.F("name", s.Name),
+		}
+		if s.Integer {
+			rec = append(rec, obs.F("value", s.Int()))
+		} else {
+			rec = append(rec, obs.F("value", s.Value))
+		}
+		mw.Write(rec)
+	}
+
+	if tr != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s (load at ui.perfetto.dev)\n", tr.Len(), *tracePath)
+	}
+	if mw != nil {
+		if err := mw.Close(); err != nil {
+			fatal(err)
+		}
+		if err := mf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics: %d records -> %s\n", mw.Count(), *metricsPath)
 	}
 }
 

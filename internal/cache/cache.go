@@ -4,7 +4,11 @@
 // contents are architectural state held by the functional executor.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"visa/internal/obs"
+)
 
 // Config describes a cache geometry.
 type Config struct {
@@ -56,6 +60,15 @@ func (s Stats) MissRate() float64 {
 		return 0
 	}
 	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Delta returns the counters accumulated since the prev snapshot (s - prev).
+// Take a snapshot with Stats() before an interval and apply Delta after it
+// to get per-interval (e.g. per-task-instance) figures without manual
+// subtraction at every call site; MissRate on the delta is the interval's
+// miss rate.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{Accesses: s.Accesses - prev.Accesses, Misses: s.Misses - prev.Misses}
 }
 
 // Cache is a set-associative LRU cache.
@@ -141,3 +154,11 @@ func (c *Cache) Flush() {
 
 // ResetStats zeroes the counters without touching contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// RegisterObs registers the cache's counters under prefix (e.g.
+// "cnt.complex.dcache"). Sampling is lazy: the hot Access path is untouched.
+func (c *Cache) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix+".accesses", func() int64 { return c.stats.Accesses })
+	reg.Counter(prefix+".misses", func() int64 { return c.stats.Misses })
+	reg.Counter(prefix+".hits", func() int64 { return c.stats.Hits() })
+}

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"visa/internal/obs"
 )
 
 func TestGeometry(t *testing.T) {
@@ -129,5 +131,48 @@ func TestDeterminismProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestStatsDelta: interval accounting via snapshot/delta must equal manual
+// subtraction, and the delta's miss rate is the interval's own.
+func TestStatsDelta(t *testing.T) {
+	c := New(Config{SizeBytes: 2048, Assoc: 2, BlockBytes: 32})
+	for i := 0; i < 100; i++ {
+		c.Access(uint32(i) * 32)
+	}
+	snap := c.Stats()
+	for i := 0; i < 50; i++ {
+		c.Access(uint32(i) * 32) // some hit, some were evicted
+	}
+	d := c.Stats().Delta(snap)
+	if d.Accesses != 50 {
+		t.Errorf("delta accesses = %d, want 50", d.Accesses)
+	}
+	if got := c.Stats().Misses - snap.Misses; d.Misses != got {
+		t.Errorf("delta misses = %d, want %d", d.Misses, got)
+	}
+	if d.Hits() != d.Accesses-d.Misses {
+		t.Errorf("delta hits = %d", d.Hits())
+	}
+	if zero := (Stats{}).Delta(Stats{}); zero != (Stats{}) {
+		t.Errorf("zero delta = %+v", zero)
+	}
+}
+
+// TestRegisterObs: counters registered in the observability registry must
+// track the live cache statistics lazily.
+func TestRegisterObs(t *testing.T) {
+	c := New(Config{SizeBytes: 2048, Assoc: 2, BlockBytes: 32})
+	reg := obs.NewRegistry()
+	c.RegisterObs(reg, "l1d")
+	c.Access(0)
+	c.Access(0)
+	vals := map[string]int64{}
+	for _, s := range reg.Snapshot() {
+		vals[s.Name] = s.Int()
+	}
+	if vals["l1d.accesses"] != 2 || vals["l1d.misses"] != 1 || vals["l1d.hits"] != 1 {
+		t.Errorf("snapshot = %v", vals)
 	}
 }

@@ -107,6 +107,17 @@ func All() []*Benchmark {
 // ByName looks a benchmark up; nil if unknown.
 func ByName(name string) *Benchmark { return registry[name] }
 
+// Names returns the registered benchmark names, sorted. Error messages and
+// usage strings should derive their lists from here rather than hardcoding.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // chunks splits n iterations into k contiguous chunks whose sizes differ by
 // at most one, returning the k+1 boundaries. Used to peel outer loops into
 // balanced sub-tasks the way the paper describes.

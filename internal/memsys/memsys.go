@@ -6,6 +6,8 @@
 // one request is outstanding, so the VISA bound holds by construction.
 package memsys
 
+import "visa/internal/obs"
+
 // Config describes memory-system timing.
 type Config struct {
 	// WorstLatNs is the worst-case latency of one memory request with no
@@ -31,6 +33,20 @@ type Bus struct {
 	latCyc   int64
 	gapCyc   int64
 	nextFree int64
+
+	// Stats holds cumulative instrumentation counters, preserved across
+	// frequency switches and Resets.
+	Stats Stats
+}
+
+// Stats are the bus's cumulative instrumentation counters. Requests counts
+// contended channel requests (the complex core's overlapping misses; the
+// blocking simple pipeline charges Latency without a channel request).
+// ContentionCycles accumulates queueing delay beyond the no-contention
+// latency, in cycles of the then-current frequency domain.
+type Stats struct {
+	Requests         int64
+	ContentionCycles int64
 }
 
 // NewBus creates a bus at the given core frequency in MHz.
@@ -69,9 +85,17 @@ func (b *Bus) Request(now int64) int64 {
 	if b.nextFree > start {
 		start = b.nextFree
 	}
+	b.Stats.Requests++
+	b.Stats.ContentionCycles += start - now
 	b.nextFree = start + b.gapCyc
 	return start + b.latCyc
 }
 
 // Reset clears in-flight state (e.g., at task boundaries).
 func (b *Bus) Reset() { b.nextFree = 0 }
+
+// RegisterObs registers the bus counters under prefix (e.g. "cnt.complex.bus").
+func (b *Bus) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix+".requests", func() int64 { return b.Stats.Requests })
+	reg.Counter(prefix+".contention_cycles", func() int64 { return b.Stats.ContentionCycles })
+}

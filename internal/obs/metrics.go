@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Field is one key/value pair of a metrics record. Field order is the
+// record's order: the JSONL exporter preserves it and the CSV exporter
+// derives its header from the first record, so records of one stream
+// should share a schema (a "kind" field conventionally leads).
+type Field struct {
+	Key string
+	Val any
+}
+
+// F returns a Field (shorthand for building records at call sites).
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// Record is one metrics row: an ordered field list.
+type Record []Field
+
+// Get returns the value of the named field, or nil.
+func (r Record) Get(key string) any {
+	for _, f := range r {
+		if f.Key == key {
+			return f.Val
+		}
+	}
+	return nil
+}
+
+// Format selects a metrics encoding.
+type Format int
+
+// Supported encodings.
+const (
+	FormatJSONL Format = iota // one JSON object per line
+	FormatCSV                 // header from the first record, then rows
+)
+
+// FormatForPath picks CSV for .csv paths and JSONL otherwise.
+func FormatForPath(path string) Format {
+	if len(path) >= 4 && path[len(path)-4:] == ".csv" {
+		return FormatCSV
+	}
+	return FormatJSONL
+}
+
+// MetricsWriter streams records to w in the chosen format. Writes are
+// buffered only by the underlying writer; errors are sticky and reported by
+// Err/Close so emission sites stay unconditional. All methods are no-ops on
+// a nil receiver.
+type MetricsWriter struct {
+	w      io.Writer
+	format Format
+	csvw   *csv.Writer
+	header []string
+	err    error
+	n      int
+}
+
+// NewMetricsWriter creates a writer emitting the given format to w.
+func NewMetricsWriter(w io.Writer, format Format) *MetricsWriter {
+	return &MetricsWriter{w: w, format: format}
+}
+
+// Write emits one record. No-op on nil or after an error.
+func (m *MetricsWriter) Write(rec Record) {
+	if m == nil || m.err != nil {
+		return
+	}
+	switch m.format {
+	case FormatCSV:
+		m.writeCSV(rec)
+	default:
+		m.writeJSONL(rec)
+	}
+	if m.err == nil {
+		m.n++
+	}
+}
+
+// Count returns the number of records written.
+func (m *MetricsWriter) Count() int {
+	if m == nil {
+		return 0
+	}
+	return m.n
+}
+
+// Err returns the first write/encoding error, if any.
+func (m *MetricsWriter) Err() error {
+	if m == nil {
+		return nil
+	}
+	return m.err
+}
+
+// Close flushes buffered state (CSV) and returns the sticky error.
+func (m *MetricsWriter) Close() error {
+	if m == nil {
+		return nil
+	}
+	if m.csvw != nil {
+		m.csvw.Flush()
+		if m.err == nil {
+			m.err = m.csvw.Error()
+		}
+	}
+	return m.err
+}
+
+func (m *MetricsWriter) writeJSONL(rec Record) {
+	buf := make([]byte, 0, 64*len(rec))
+	buf = append(buf, '{')
+	for i, f := range rec {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		kb, err := json.Marshal(f.Key)
+		if err == nil {
+			var vb []byte
+			vb, err = json.Marshal(f.Val)
+			if err == nil {
+				buf = append(buf, kb...)
+				buf = append(buf, ':')
+				buf = append(buf, vb...)
+			}
+		}
+		if err != nil {
+			m.err = fmt.Errorf("obs: metrics field %q: %w", f.Key, err)
+			return
+		}
+	}
+	buf = append(buf, '}', '\n')
+	if _, err := m.w.Write(buf); err != nil {
+		m.err = err
+	}
+}
+
+func (m *MetricsWriter) writeCSV(rec Record) {
+	if m.csvw == nil {
+		m.csvw = csv.NewWriter(m.w)
+		m.header = make([]string, len(rec))
+		for i, f := range rec {
+			m.header[i] = f.Key
+		}
+		if err := m.csvw.Write(m.header); err != nil {
+			m.err = err
+			return
+		}
+	}
+	row := make([]string, len(m.header))
+	for i, key := range m.header {
+		if v := rec.Get(key); v != nil {
+			row[i] = formatCSVValue(v)
+		}
+	}
+	if err := m.csvw.Write(row); err != nil {
+		m.err = err
+	}
+}
+
+func formatCSVValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case bool:
+		return strconv.FormatBool(x)
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(x)
+	}
+}

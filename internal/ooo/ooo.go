@@ -26,6 +26,7 @@ import (
 	"visa/internal/exec"
 	"visa/internal/isa"
 	"visa/internal/memsys"
+	"visa/internal/obs"
 	"visa/internal/power"
 	"visa/internal/simple"
 )
@@ -275,6 +276,43 @@ type Pipeline struct {
 	// Stats
 	BranchMispredicts int64
 	IndirectMispreds  int64
+
+	// Stats holds cumulative instrumentation counters; like the predictor
+	// and cache state, Rebase preserves them so they span whole experiments.
+	Stats Stats
+}
+
+// Stats are the complex core's cumulative instrumentation counters.
+type Stats struct {
+	// Retired counts instructions retired in complex mode.
+	Retired int64
+	// SimpleModeRetired counts instructions retired in simple mode (after a
+	// missed checkpoint).
+	SimpleModeRetired int64
+	// ROBStalls / IQStalls / LSQStalls count dispatches delayed by a full
+	// reorder buffer / issue queue / load-store queue.
+	ROBStalls int64
+	IQStalls  int64
+	LSQStalls int64
+	// ModeSwitches counts complex→simple reconfigurations (missed
+	// checkpoints, §2.2).
+	ModeSwitches int64
+}
+
+// RegisterObs registers the core's counters under prefix (e.g.
+// "cnt.complex.pipe"), including the shared simple-mode engine's counters
+// under prefix+".simple_mode". Sampling is lazy; FeedThread is untouched by
+// observation.
+func (p *Pipeline) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix+".retired", func() int64 { return p.Stats.Retired })
+	reg.Counter(prefix+".branch_mispredicts", func() int64 { return p.BranchMispredicts })
+	reg.Counter(prefix+".indirect_mispredicts", func() int64 { return p.IndirectMispreds })
+	reg.Counter(prefix+".rob_stalls", func() int64 { return p.Stats.ROBStalls })
+	reg.Counter(prefix+".iq_stalls", func() int64 { return p.Stats.IQStalls })
+	reg.Counter(prefix+".lsq_stalls", func() int64 { return p.Stats.LSQStalls })
+	reg.Counter(prefix+".mode_switches", func() int64 { return p.Stats.ModeSwitches })
+	reg.Counter(prefix+".simple_mode.retired", func() int64 { return p.Stats.SimpleModeRetired })
+	p.simple.RegisterObs(reg, prefix+".simple_mode")
 }
 
 // threadCtx is one hardware thread's private state: architectural register
@@ -379,6 +417,7 @@ func (p *Pipeline) ThreadLastFetch(tid int) int64 { return p.thread(tid).lastFet
 func (p *Pipeline) SwitchToSimple(atCycle int64) int64 {
 	start := atCycle + p.Cfg.SwitchOvhdCycles
 	p.mode = ModeSimple
+	p.Stats.ModeSwitches++
 	p.simple.Rebase(start)
 	p.Bus.Reset()
 	return start
@@ -430,6 +469,7 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) int64 {
 		if tid != 0 {
 			panic("ooo: non-real-time threads are idled in simple mode")
 		}
+		p.Stats.SimpleModeRetired++
 		return p.simple.Feed(d)
 	}
 	t := p.thread(tid)
@@ -455,14 +495,17 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) int64 {
 	dt := ft + 1
 	if free := p.robRetire[p.seq%int64(cfg.ROBSize)]; free+1 > dt {
 		dt = free + 1
+		p.Stats.ROBStalls++
 	}
 	if e := p.iqOcc.earliest(); e > dt {
 		dt = e
+		p.Stats.IQStalls++
 	}
 	isMem := in.Op.IsMem() && d.Addr < isa.MMIOBase
 	if isMem {
 		if e := p.lsqOcc.earliest(); e > dt {
 			dt = e
+			p.Stats.LSQStalls++
 		}
 	}
 	dt = p.dispatchSlots.take(dt)
@@ -554,6 +597,7 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) int64 {
 		p.lsqOcc.add(rt)
 	}
 	p.act.ROBOps++
+	p.Stats.Retired++
 
 	// --- Destinations. With speculative wakeup and full bypass, a
 	// dependent issues lat cycles after its producer; loads wake consumers

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"visa/internal/clab"
+	"visa/internal/obs"
 )
 
 // Table3Row reproduces one column of the paper's Table 3.
@@ -22,8 +23,11 @@ type Table3Row struct {
 }
 
 // Table3 computes the per-benchmark static-analysis and actual-time summary
-// (paper Table 3 / §6.1).
-func Table3(benches []*clab.Benchmark) ([]Table3Row, error) {
+// (paper Table 3 / §6.1). When sink carries a metrics writer, each row is
+// also emitted as a kind:"table3" record, followed by one
+// kind:"table3_subtask" record per sub-task with its WCET bound and D-cache
+// pad — the machine-readable form of the printed table.
+func Table3(benches []*clab.Benchmark, sink *obs.Sink) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, b := range benches {
 		s, err := GetSetup(b)
@@ -33,7 +37,7 @@ func Table3(benches []*clab.Benchmark) ([]Table3Row, error) {
 		wcetUs := s.Table.TotalTimeNs(len(s.Table.Points)-1) / 1000
 		simUs := float64(s.SteadySimpleCycles) / 1000
 		cxUs := float64(s.SteadyComplexCycles) / 1000
-		rows = append(rows, Table3Row{
+		row := Table3Row{
 			Name:         b.Name,
 			DynInsts:     s.DynInsts,
 			TightNs:      s.Deadline(true),
@@ -44,7 +48,33 @@ func Table3(benches []*clab.Benchmark) ([]Table3Row, error) {
 			ComplexUs:    cxUs,
 			WCETOverSim:  wcetUs / simUs,
 			SimOverCmplx: simUs / cxUs,
-		})
+		}
+		rows = append(rows, row)
+		if mw := sink.M(); mw != nil {
+			mw.Write(obs.Record{
+				obs.F("kind", "table3"),
+				obs.F("bench", row.Name),
+				obs.F("dyn_insts", row.DynInsts),
+				obs.F("tight_ns", row.TightNs),
+				obs.F("loose_ns", row.LooseNs),
+				obs.F("sub_tasks", row.SubTasks),
+				obs.F("wcet_us", row.WCETUs),
+				obs.F("simple_us", row.SimpleUs),
+				obs.F("complex_us", row.ComplexUs),
+				obs.F("wcet_over_simple", row.WCETOverSim),
+				obs.F("simple_over_complex", row.SimOverCmplx),
+			})
+			last := len(s.Table.Points) - 1
+			for k := 0; k < s.Table.NumSubTasks(); k++ {
+				mw.Write(obs.Record{
+					obs.F("kind", "table3_subtask"),
+					obs.F("bench", row.Name),
+					obs.F("sub_task", k),
+					obs.F("wcet_cycles_1ghz", s.Table.Cycles[last][k]),
+					obs.F("dcache_pad", s.DPad[k]),
+				})
+			}
+		}
 	}
 	return rows, nil
 }
@@ -109,19 +139,41 @@ func RunComparison(b *clab.Benchmark, cfg Config) (*SavingsRow, error) {
 		return nil, errf("rt: %s: DEADLINE VIOLATED (complex=%d simple=%d) — safety property broken",
 			b.Name, cx.DeadlineViolations, sf.DeadlineViolations)
 	}
-	return &SavingsRow{
+	row := &SavingsRow{
 		Name:    b.Name,
 		Tight:   cfg.Tight,
 		Complex: cx,
 		Simple:  sf,
 		Savings: Savings(cx, sf),
-	}, nil
+	}
+	if mw := cfg.Obs.M(); mw != nil {
+		mw.Write(obs.Record{
+			obs.F("kind", "summary"),
+			obs.F("label", cfg.Label),
+			obs.F("bench", b.Name),
+			obs.F("tight", cfg.Tight),
+			obs.F("standby", cfg.Standby),
+			obs.F("freq_advantage", cfg.FreqAdvantage),
+			obs.F("flush_tasks", cfg.FlushTasks),
+			obs.F("savings", row.Savings),
+			obs.F("complex_avg_power", cx.AvgPower),
+			obs.F("simple_avg_power", sf.AvgPower),
+			obs.F("complex_energy", cx.Energy),
+			obs.F("simple_energy", sf.Energy),
+			obs.F("complex_missed", cx.MissedTasks),
+			obs.F("simple_missed", sf.MissedTasks),
+			obs.F("complex_spec_mhz", cx.FinalSpecMHz),
+			obs.F("complex_rec_mhz", cx.FinalRecMHz),
+			obs.F("simple_spec_mhz", sf.FinalSpecMHz),
+		})
+	}
+	return row, nil
 }
 
 // Figure2 runs the headline experiment: power savings of the VISA-compliant
 // complex processor relative to simple-fixed, tight and loose deadlines,
 // with and without 10% standby power.
-func Figure2(benches []*clab.Benchmark, instances int) (string, []SavingsRow, error) {
+func Figure2(benches []*clab.Benchmark, instances int, sink *obs.Sink) (string, []SavingsRow, error) {
 	var b strings.Builder
 	var all []SavingsRow
 	fmt.Fprintf(&b, "FIGURE 2. Power savings of the VISA-compliant complex processor\n")
@@ -130,17 +182,19 @@ func Figure2(benches []*clab.Benchmark, instances int) (string, []SavingsRow, er
 		"bench", "dl", "savings", "savings+stby", "simple MHz", "complex MHz")
 	for _, bench := range benches {
 		for _, tight := range []bool{true, false} {
-			row, err := RunComparison(bench, Config{Tight: tight, Instances: instances})
-			if err != nil {
-				return "", nil, err
-			}
-			sb, err := RunComparison(bench, Config{Tight: tight, Instances: instances, Standby: true})
-			if err != nil {
-				return "", nil, err
-			}
 			tag := "T"
 			if !tight {
 				tag = "L"
+			}
+			row, err := RunComparison(bench, Config{Tight: tight, Instances: instances,
+				Obs: sink, Label: "fig2/" + tag})
+			if err != nil {
+				return "", nil, err
+			}
+			sb, err := RunComparison(bench, Config{Tight: tight, Instances: instances, Standby: true,
+				Obs: sink, Label: "fig2/" + tag + "+stby"})
+			if err != nil {
+				return "", nil, err
 			}
 			fmt.Fprintf(&b, "%-8s %6s %13.1f%% %13.1f%% %12d %12d\n",
 				bench.Name, tag, row.Savings*100, sb.Savings*100,
@@ -153,7 +207,7 @@ func Figure2(benches []*clab.Benchmark, instances int) (string, []SavingsRow, er
 
 // Figure3 grants simple-fixed 1.5x the frequency at equal voltage (tight
 // deadline).
-func Figure3(benches []*clab.Benchmark, instances int) (string, []SavingsRow, error) {
+func Figure3(benches []*clab.Benchmark, instances int, sink *obs.Sink) (string, []SavingsRow, error) {
 	var b strings.Builder
 	var all []SavingsRow
 	fmt.Fprintf(&b, "FIGURE 3. Power savings with simple-fixed granted 1.5x frequency\n")
@@ -161,12 +215,14 @@ func Figure3(benches []*clab.Benchmark, instances int) (string, []SavingsRow, er
 	fmt.Fprintf(&b, "%-8s %14s %14s %12s %12s\n",
 		"bench", "savings", "savings+stby", "simple MHz", "complex MHz")
 	for _, bench := range benches {
-		cfg := Config{Tight: true, FreqAdvantage: 1.5, Instances: instances}
+		cfg := Config{Tight: true, FreqAdvantage: 1.5, Instances: instances,
+			Obs: sink, Label: "fig3"}
 		row, err := RunComparison(bench, cfg)
 		if err != nil {
 			return "", nil, err
 		}
 		cfg.Standby = true
+		cfg.Label = "fig3+stby"
 		sb, err := RunComparison(bench, cfg)
 		if err != nil {
 			return "", nil, err
@@ -182,7 +238,7 @@ func Figure3(benches []*clab.Benchmark, instances int) (string, []SavingsRow, er
 // Figure4 injects mispredictions by flushing caches and predictors at the
 // start of 10%, 20%, and 30% of tasks (tight deadline) and reports the
 // decline in savings; every deadline must still be met.
-func Figure4(benches []*clab.Benchmark, instances int) (string, []SavingsRow, error) {
+func Figure4(benches []*clab.Benchmark, instances int, sink *obs.Sink) (string, []SavingsRow, error) {
 	var b strings.Builder
 	var all []SavingsRow
 	fmt.Fprintf(&b, "FIGURE 4. Power savings with injected mispredictions\n")
@@ -197,7 +253,8 @@ func Figure4(benches []*clab.Benchmark, instances int) (string, []SavingsRow, er
 			if n == 0 {
 				n = Instances
 			}
-			cfg := Config{Tight: true, Instances: n, FlushTasks: n * pct / 100}
+			cfg := Config{Tight: true, Instances: n, FlushTasks: n * pct / 100,
+				Obs: sink, Label: fmt.Sprintf("fig4/%d%%", pct)}
 			row, err := RunComparison(bench, cfg)
 			if err != nil {
 				return "", nil, err

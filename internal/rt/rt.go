@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"sync"
 
+	"visa/internal/cache"
 	"visa/internal/clab"
 	"visa/internal/core"
 	"visa/internal/isa"
+	"visa/internal/obs"
 	"visa/internal/power"
 	"visa/internal/wcet"
 )
@@ -199,7 +201,8 @@ func (ps *procSim) profile() (*profileResult, error) {
 		subCycles: make([]int64, maxInt(nSub, 1)),
 	}
 	cur := -1
-	var lastBoundary, lastMisses int64
+	var lastBoundary int64
+	var lastDC cache.Stats
 	for {
 		d, ok, err := ps.machine.Step()
 		if err != nil {
@@ -212,17 +215,17 @@ func (ps *procSim) profile() (*profileResult, error) {
 			now := ps.now()
 			if cur >= 0 {
 				res.subCycles[cur] = now - lastBoundary
-				res.dMisses[cur] = ps.dc.Stats().Misses - lastMisses
+				res.dMisses[cur] = ps.dc.Stats().Delta(lastDC).Misses
 			}
 			cur = int(d.Inst.Imm)
 			lastBoundary = now
-			lastMisses = ps.dc.Stats().Misses
+			lastDC = ps.dc.Stats()
 		}
 		ps.feed(&d)
 	}
 	if cur >= 0 {
 		res.subCycles[cur] = ps.now() - lastBoundary
-		res.dMisses[cur] = ps.dc.Stats().Misses - lastMisses
+		res.dMisses[cur] = ps.dc.Stats().Delta(lastDC).Misses
 	}
 	res.totalCycles = ps.now()
 	res.dynInsts = ps.machine.Seq
@@ -254,6 +257,22 @@ type Config struct {
 	Histogram      bool
 	HistogramMiss  float64
 	VaryInputSeeds bool // vary the input seed per instance
+
+	// Obs attaches the instrumentation sink (tracer, metrics writer,
+	// counter registry). A nil sink — the default — disables all three
+	// surfaces at no cost. Label prefixes this run's trace lanes, metric
+	// records, and counter names so one sink can host many experiments.
+	Obs   *obs.Sink
+	Label string
+}
+
+// obsPrefix builds the counter-registry prefix for one processor's run.
+func (c Config) obsPrefix(bench, proc string) string {
+	p := bench + "." + proc
+	if c.Label != "" {
+		p = c.Label + "." + p
+	}
+	return p
 }
 
 func (c Config) instances() int {

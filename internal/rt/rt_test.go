@@ -174,7 +174,7 @@ func TestDeterminism(t *testing.T) {
 
 // TestTable3Shape verifies the qualitative Table 3 findings (§6.1).
 func TestTable3Shape(t *testing.T) {
-	rows, err := Table3(clab.All())
+	rows, err := Table3(clab.All(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

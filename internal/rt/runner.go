@@ -7,6 +7,7 @@ import (
 	"visa/internal/exec"
 	"visa/internal/isa"
 	"visa/internal/memsys"
+	"visa/internal/obs"
 	"visa/internal/ooo"
 	"visa/internal/power"
 	"visa/internal/simple"
@@ -105,8 +106,9 @@ type taskResult struct {
 // acct and returning timing. It implements the §2.2/§4.2 protocol: watchdog
 // armed at task start, advanced at each sub-task boundary, and on expiry the
 // processor drains, switches to the recovery frequency (and, on the complex
-// core, to simple mode), masking further checkpoint exceptions.
-func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32) (taskResult, error) {
+// core, to simple mode), masking further checkpoint exceptions. ob (which
+// may be nil) records the protocol's events on the experiment timeline.
+func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32, ob *instanceObs) (taskResult, error) {
 	ps.machine.Reset()
 	if seed != 0 {
 		if err := clab.SetSeed(ps.machine, seed); err != nil {
@@ -138,6 +140,7 @@ func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32) 
 			ps.bus.SetFreq(fr.FMHz)
 			fs = fr
 			switched = true
+			ob.forcedSimple()
 		}
 	}
 
@@ -173,6 +176,7 @@ func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32) 
 			cyc = pre + post*recScale
 		}
 		res.aets[curSub] = cyc
+		ob.subTask(curSub, aetBoundary, now, cyc)
 	}
 
 	for {
@@ -192,9 +196,11 @@ func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32) 
 				// finished at the speculative frequency; remaining
 				// sub-tasks run at the recovery frequency.
 				doFreqSwitch(now)
+				ob.checkpointMiss(curSub, now, now, false)
 				pendingSwitch = false
 			}
 			if k >= 1 && wd.Armed() {
+				ob.checkpoint(k, now, wd.Remaining(now), plan.WatchdogAdd[k])
 				wd.Add(now, plan.WatchdogAdd[k])
 			}
 			curSub = k
@@ -215,15 +221,19 @@ func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32) 
 				res.missed = true
 				switchStart = ps.cx.SwitchToSimple(rt)
 				ps.bus.SetFreq(fr.FMHz)
+				ob.checkpointMiss(curSub, switchAt, switchStart, true)
 			} else {
 				// PET misprediction on the explicitly-safe core: finish
 				// the sub-task at f_spec, then switch frequency.
+				ob.petMispredict(curSub, rt)
 				pendingSwitch = true
 			}
 		}
 	}
 	if pendingSwitch {
-		doFreqSwitch(ps.now())
+		now := ps.now()
+		doFreqSwitch(now)
+		ob.checkpointMiss(curSub, now, now, false)
 	}
 	end := ps.now()
 	closeSub(end)
@@ -240,6 +250,7 @@ func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32) 
 			OvhdNs +
 			float64(end-switchStart)*1000/float64(fr.FMHz)
 		res.simpleNs = float64(end-switchStart) * 1000 / float64(fr.FMHz)
+		ob.recovery(end, ps.cx != nil)
 	}
 	return res, nil
 }
@@ -282,6 +293,14 @@ func RunProcessor(s *Setup, complexProc bool, cfg Config) (*ProcResult, error) {
 	acct := &power.Accounting{Profile: profile, Standby: cfg.Standby}
 	ps := newProcSim(s.Prog, kind, plan.Spec.FMHz)
 
+	tr := cfg.Obs.T()
+	pid := obsLane(tr, cfg.Label, s.Bench.Name, kind.String())
+	if reg := cfg.Obs.R(); reg != nil {
+		prefix := cfg.obsPrefix(s.Bench.Name, kind.String())
+		ps.registerObs(reg, prefix)
+		acct.RegisterObs(reg, prefix+".power")
+	}
+
 	n := cfg.instances()
 	// Misprediction injection starts once the PET estimator has warmed up:
 	// the paper's periodic task is in steady state when Figure 4's flushes
@@ -292,14 +311,19 @@ func RunProcessor(s *Setup, complexProc bool, cfg Config) (*ProcResult, error) {
 
 	out := &ProcResult{Name: kind.String()}
 	for i := 0; i < n; i++ {
+		baseNs := float64(i) * deadline
 		if flushAt[i] {
 			ps.flush()
+			tr.Instant(pid, tidMode, "visa", "cache+predictor flush", baseNs,
+				obs.A("instance", i))
 		}
 		seed := int32(0)
 		if cfg.VaryInputSeeds {
 			seed = int32(1e6 + i*7919)
 		}
-		res, err := ps.runTask(plan, acct, seed)
+		energyBefore := acct.Energy()
+		ob := newInstanceObs(tr, pid, i, baseNs, plan)
+		res, err := ps.runTask(plan, acct, seed, ob)
 		if err != nil {
 			return nil, err
 		}
@@ -313,7 +337,9 @@ func RunProcessor(s *Setup, complexProc bool, cfg Config) (*ProcResult, error) {
 		if res.timeNs > deadline+1e-6 {
 			out.DeadlineViolations++
 		}
+		replanned := false
 		if est.RecordRun(res.aets) {
+			replanned = true
 			if p2, ok := core.Solve(specMode, params, table, est.PETs()); ok {
 				plan = p2
 			}
@@ -330,12 +356,34 @@ func RunProcessor(s *Setup, complexProc bool, cfg Config) (*ProcResult, error) {
 			}
 			acct.AddSegment(dvs, plan.Spec.Volts)
 			usedNs += DVSSoftwareCycles * 1000 / float64(plan.Spec.FMHz)
+			tr.Instant(pid, tidMode, "visa", "pet-reevaluation", baseNs+usedNs,
+				obs.A("instance", i),
+				obs.A("spec_mhz", plan.Spec.FMHz), obs.A("rec_mhz", plan.Rec.FMHz))
 		}
 		// Idle to the deadline at the lowest setting (§5.2).
 		idleNs := deadline - usedNs
 		if idleNs > 0 {
 			idleCycles := int64(idleNs * float64(minPt.FMHz) / 1000)
 			acct.AddIdle(idleCycles, minPt.Volts)
+		}
+		ob.instanceDone(res.timeNs, usedNs, deadline, res.missed)
+		if mw := cfg.Obs.M(); mw != nil {
+			mw.Write(obs.Record{
+				obs.F("kind", "instance"),
+				obs.F("label", cfg.Label),
+				obs.F("bench", s.Bench.Name),
+				obs.F("proc", kind.String()),
+				obs.F("instance", i),
+				obs.F("time_ns", res.timeNs),
+				obs.F("used_ns", usedNs),
+				obs.F("deadline_ns", deadline),
+				obs.F("slack_ns", deadline-usedNs),
+				obs.F("missed", res.missed),
+				obs.F("replanned", replanned),
+				obs.F("energy", acct.Energy()-energyBefore),
+				obs.F("spec_mhz", plan.Spec.FMHz),
+				obs.F("rec_mhz", plan.Rec.FMHz),
+			})
 		}
 	}
 	out.Energy = acct.Energy()

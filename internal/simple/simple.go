@@ -27,6 +27,7 @@ import (
 	"visa/internal/bpred"
 	"visa/internal/exec"
 	"visa/internal/isa"
+	"visa/internal/obs"
 	"visa/internal/power"
 )
 
@@ -88,6 +89,32 @@ type Pipeline struct {
 	// Mispredicts counts static-heuristic conditional mispredictions plus
 	// indirect stalls, for reporting.
 	Mispredicts int64
+
+	// Stats holds cumulative instrumentation counters; Rebase preserves
+	// them (like cache statistics) so they span whole experiments.
+	Stats Stats
+}
+
+// Stats are the pipeline's cumulative instrumentation counters.
+type Stats struct {
+	// Retired counts instructions fed through the pipeline.
+	Retired int64
+	// FUStallCycles accumulates cycles the single unpipelined universal
+	// function unit held back a younger instruction in register read.
+	FUStallCycles int64
+	// MemStallCycles accumulates cycles the memory stage was occupied when
+	// an instruction arrived (blocking-cache back-pressure).
+	MemStallCycles int64
+}
+
+// RegisterObs registers the pipeline's counters under prefix (e.g.
+// "cnt.simple-fixed.pipe"). Sampling is lazy; Feed is untouched by
+// observation.
+func (p *Pipeline) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix+".retired", func() int64 { return p.Stats.Retired })
+	reg.Counter(prefix+".mispredicts", func() int64 { return p.Mispredicts })
+	reg.Counter(prefix+".fu_stall_cycles", func() int64 { return p.Stats.FUStallCycles })
+	reg.Counter(prefix+".mem_stall_cycles", func() int64 { return p.Stats.MemStallCycles })
 }
 
 // New builds a VISA pipeline around the given cache hierarchy.
@@ -225,6 +252,7 @@ func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 	// unavailable source operand, or (for MARK) full serialization.
 	issue := fs + FetchToExec
 	if p.exFree > issue {
+		p.Stats.FUStallCycles += p.exFree - issue
 		issue = p.exFree
 	}
 	for _, r := range in.IntSources(p.srcBuf[:]) {
@@ -256,6 +284,7 @@ func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 	// access the D-cache and block on a miss.
 	memStart := exDone
 	if p.memFree > memStart {
+		p.Stats.MemStallCycles += p.memFree - memStart
 		memStart = p.memFree
 	}
 	memDone := memStart + 1
@@ -278,6 +307,7 @@ func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 	p.memFree = memDone
 	p.lastWB = wb
 	p.act.Bypass++
+	p.Stats.Retired++
 
 	// Destination availability (full bypass network: values usable the
 	// cycle after they are produced).
