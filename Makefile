@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier2 vet fmt-check race test clean
+.PHONY: all build tier1 tier2 tier-race vet fmt-check race test bench-engine clean
 
 all: build
 
@@ -25,6 +25,18 @@ fmt-check:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/rt/...
+
+# Tier race: the parallel experiment engine's gate — the full rt and obs
+# suites (worker pool, GetSetup memoization, record buffers) under the race
+# detector. The race runtime is ~15x slower than native, hence the explicit
+# timeout.
+tier-race:
+	$(GO) test -race -timeout 30m ./internal/rt/... ./internal/obs/...
+
+# Records the serial-vs-parallel wall-clock of the full evaluation
+# (`experiments -all -n 20` equivalent; see bench_test.go).
+bench-engine:
+	$(GO) test -run '^$$' -bench 'BenchmarkExperimentsAll' -benchtime 1x .
 
 test: tier1
 

@@ -7,6 +7,7 @@ package visa_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"visa/internal/cache"
@@ -27,11 +28,11 @@ const benchInstances = 30
 func BenchmarkTable3(b *testing.B) {
 	var rows []rt.Table3Row
 	for i := 0; i < b.N; i++ {
-		var err error
-		rows, err = rt.Table3(clab.All(), nil)
+		rep, err := (&rt.Engine{Workers: 1}).Run(rt.Table3Plan(clab.All()))
 		if err != nil {
 			b.Fatal(err)
 		}
+		rows = rep.Table3Rows()
 	}
 	var wcetOverSim, simOverCx float64
 	for _, r := range rows {
@@ -48,11 +49,11 @@ func BenchmarkTable3(b *testing.B) {
 func BenchmarkFigure2(b *testing.B) {
 	var rows []rt.SavingsRow
 	for i := 0; i < b.N; i++ {
-		var err error
-		_, rows, err = rt.Figure2(clab.All(), benchInstances, nil)
+		rep, err := (&rt.Engine{Workers: 1}).Run(rt.Figure2Plan(clab.All(), benchInstances))
 		if err != nil {
 			b.Fatal(err)
 		}
+		rows = rep.SavingsRows()
 	}
 	var tight, loose float64
 	var nt, nl int
@@ -74,11 +75,11 @@ func BenchmarkFigure2(b *testing.B) {
 func BenchmarkFigure3(b *testing.B) {
 	var rows []rt.SavingsRow
 	for i := 0; i < b.N; i++ {
-		var err error
-		_, rows, err = rt.Figure3(clab.All(), benchInstances, nil)
+		rep, err := (&rt.Engine{Workers: 1}).Run(rt.Figure3Plan(clab.All(), benchInstances))
 		if err != nil {
 			b.Fatal(err)
 		}
+		rows = rep.SavingsRows()
 	}
 	var sum float64
 	for _, r := range rows {
@@ -93,11 +94,11 @@ func BenchmarkFigure3(b *testing.B) {
 func BenchmarkFigure4(b *testing.B) {
 	var rows []rt.SavingsRow
 	for i := 0; i < b.N; i++ {
-		var err error
-		_, rows, err = rt.Figure4(clab.All(), benchInstances, nil)
+		rep, err := (&rt.Engine{Workers: 1}).Run(rt.Figure4Plan(clab.All(), benchInstances))
 		if err != nil {
 			b.Fatal(err)
 		}
+		rows = rep.SavingsRows()
 	}
 	var missed int
 	for _, r := range rows {
@@ -117,8 +118,8 @@ func benchmarkRunProcessor(b *testing.B, sink *obs.Sink) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := rt.RunProcessor(s, true, rt.Config{
-			Tight: true, Instances: benchInstances, Obs: sink,
+		res, err := rt.RunProcessor(s, rt.ProcComplex, rt.Config{
+			Tight: true, Instances: benchInstances, Obs: sink, Label: "bench",
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -144,6 +145,31 @@ func BenchmarkRunProcessorObsOn(b *testing.B) {
 		Registry: obs.NewRegistry(),
 	})
 }
+
+// benchmarkExperimentsAll regenerates the full evaluation (`experiments
+// -all -n 20` equivalent) on the given worker count. Comparing the Serial
+// and Parallel variants records the wall-clock win of the parallel engine;
+// their outputs are byte-identical (TestParallelMatchesSerial asserts it).
+func benchmarkExperimentsAll(b *testing.B, workers int) {
+	const n = 20
+	for i := 0; i < b.N; i++ {
+		all := clab.All()
+		for _, plan := range []*rt.Plan{
+			rt.Table3Plan(all),
+			rt.Figure2Plan(all, n),
+			rt.Figure3Plan(all, n),
+			rt.Figure4Plan(all, n),
+		} {
+			eng := rt.Engine{Workers: workers}
+			if _, err := eng.Run(plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkExperimentsAllSerial(b *testing.B)   { benchmarkExperimentsAll(b, 1) }
+func BenchmarkExperimentsAllParallel(b *testing.B) { benchmarkExperimentsAll(b, runtime.NumCPU()) }
 
 // feedBenchmark drives one functional execution of a benchmark through a
 // pipeline feeder and returns the dynamic instruction count.

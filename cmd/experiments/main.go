@@ -1,6 +1,9 @@
 // Command experiments regenerates the paper's evaluation: Table 3 and
 // Figures 2, 3, and 4, running 200 task instances per configuration (or
-// fewer with -n for a quick look). With -metrics, each experiment also
+// fewer with -n for a quick look). Each benchmark × configuration is an
+// independent job; -j runs jobs on a worker pool (default: all CPUs) with
+// a deterministic merge, so the output — stdout and metrics files alike —
+// is byte-identical for any -j. With -metrics, each experiment also
 // streams machine-readable records (one JSON object per line) into the
 // given directory: table3.jsonl carries the printed rows plus per-sub-task
 // WCET bounds, and fig{2,3,4}.jsonl carry a kind:"instance" record per task
@@ -8,8 +11,8 @@
 //
 // Usage:
 //
-//	experiments [-n 200] [-table3] [-fig2] [-fig3] [-fig4] [-spec] [-all]
-//	            [-metrics dir]
+//	experiments [-n 200] [-j NumCPU] [-table3] [-fig2] [-fig3] [-fig4]
+//	            [-spec] [-all] [-metrics dir]
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"visa/internal/cache"
 	"visa/internal/clab"
@@ -29,6 +33,7 @@ import (
 
 func main() {
 	n := flag.Int("n", rt.Instances, "task instances per experiment")
+	j := flag.Int("j", runtime.NumCPU(), "parallel experiment workers")
 	t3 := flag.Bool("table3", false, "regenerate Table 3")
 	f2 := flag.Bool("fig2", false, "regenerate Figure 2")
 	f3 := flag.Bool("fig3", false, "regenerate Figure 3")
@@ -46,36 +51,31 @@ func main() {
 		check(os.MkdirAll(*metricsDir, 0o755))
 	}
 
+	// run executes one plan on the worker pool, with metrics (when enabled)
+	// merged in plan order into dir/name.
+	run := func(plan *rt.Plan, name string) {
+		sink, done := metricsSink(*metricsDir, name)
+		eng := &rt.Engine{Workers: *j, Sink: sink}
+		rep, err := eng.Run(plan)
+		check(err)
+		check(done())
+		fmt.Println(rep.Text)
+	}
+
 	if *spec || *all {
 		printSpec()
 	}
 	if *t3 || *all {
-		sink, done := metricsSink(*metricsDir, "table3.jsonl")
-		rows, err := rt.Table3(benches, sink)
-		check(err)
-		check(done())
-		fmt.Println(rt.FormatTable3(rows))
+		run(rt.Table3Plan(benches), "table3.jsonl")
 	}
 	if *f2 || *all {
-		sink, done := metricsSink(*metricsDir, "fig2.jsonl")
-		out, _, err := rt.Figure2(benches, *n, sink)
-		check(err)
-		check(done())
-		fmt.Println(out)
+		run(rt.Figure2Plan(benches, *n), "fig2.jsonl")
 	}
 	if *f3 || *all {
-		sink, done := metricsSink(*metricsDir, "fig3.jsonl")
-		out, _, err := rt.Figure3(benches, *n, sink)
-		check(err)
-		check(done())
-		fmt.Println(out)
+		run(rt.Figure3Plan(benches, *n), "fig3.jsonl")
 	}
 	if *f4 || *all {
-		sink, done := metricsSink(*metricsDir, "fig4.jsonl")
-		out, _, err := rt.Figure4(benches, *n, sink)
-		check(err)
-		check(done())
-		fmt.Println(out)
+		run(rt.Figure4Plan(benches, *n), "fig4.jsonl")
 	}
 }
 

@@ -1,29 +1,36 @@
-// Command visasim runs a task on one of the two cycle-level processor
+// Command visasim runs tasks on one of the two cycle-level processor
 // models and reports timing and cache statistics.
 //
 // Usage:
 //
-//	visasim [-proc simple|complex] [-mhz 1000] [-runs 1]
+//	visasim [-proc simple|complex] [-mhz 1000] [-runs 1] [-j NumCPU]
 //	        [-trace out.json] [-metrics out.jsonl|out.csv]
-//	        (-bench name | file.c)
+//	        (-bench name[,name...]|all | file.c)
 //
-// With -bench it runs one of the embedded C-lab benchmarks; otherwise it
-// compiles and runs the given mini-C file. Multiple -runs share cache and
-// predictor state, showing cold-versus-steady behaviour.
+// With -bench it runs embedded C-lab benchmarks — one name, a
+// comma-separated list, or "all"; otherwise it compiles and runs the given
+// mini-C file. Multiple -runs share cache and predictor state, showing
+// cold-versus-steady behaviour. With several benchmarks the simulations
+// are independent jobs executed on -j workers; their reports and metrics
+// records are merged in benchmark order, so the output is byte-identical
+// for any -j.
 //
 // -trace writes a Chrome trace-event (catapult) JSON file with one slice
 // per run and per sub-task plus cache-miss counter tracks; load it at
-// https://ui.perfetto.dev or chrome://tracing. -metrics streams one
-// machine-readable record per run and per sub-task, then the full counter
-// registry, as JSONL (or CSV for .csv paths). Both outputs use simulated
-// time only and are byte-identical across repeated runs.
+// https://ui.perfetto.dev or chrome://tracing (single benchmark only — the
+// trace is one shared timeline). -metrics streams one machine-readable
+// record per run and per sub-task, then the full counter registry, as
+// JSONL (or CSV for .csv paths). Both outputs use simulated time only and
+// are byte-identical across repeated runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"visa/internal/cache"
 	"visa/internal/clab"
@@ -34,78 +41,81 @@ import (
 	"visa/internal/minic"
 	"visa/internal/obs"
 	"visa/internal/ooo"
+	"visa/internal/rt"
 	"visa/internal/simple"
 )
 
-// Trace lanes within the single visasim process.
+// Trace lanes within one task's timeline process.
 const (
 	tidRun = 1
 	tidSub = 2
 )
 
+// simJob is one program to simulate.
+type simJob struct {
+	name string
+	prog *isa.Program
+}
+
 func main() {
-	proc := flag.String("proc", "complex", "processor model: simple or complex")
+	procFlag := flag.String("proc", "complex", "processor model: simple or complex")
 	mhz := flag.Int("mhz", 1000, "core frequency in MHz")
 	runs := flag.Int("runs", 1, "consecutive task executions (warm caches)")
-	bench := flag.String("bench", "", "embedded C-lab benchmark name")
+	bench := flag.String("bench", "", `embedded C-lab benchmark: one name, "a,b,c", or "all"`)
+	j := flag.Int("j", runtime.NumCPU(), "parallel workers when simulating multiple benchmarks")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
 	metricsPath := flag.String("metrics", "", "write per-run/per-sub-task metrics (JSONL, or CSV for .csv)")
 	flag.Parse()
 
-	var prog *isa.Program
-	var err error
-	switch {
-	case *bench != "":
-		b := clab.ByName(*bench)
-		if b == nil {
-			fatal(fmt.Errorf("unknown benchmark %q (have %s)",
-				*bench, strings.Join(clab.Names(), " ")))
-		}
-		prog, err = b.Program()
-	case flag.NArg() == 1:
-		var src []byte
-		src, err = os.ReadFile(flag.Arg(0))
-		if err == nil {
-			if b, berr := core.DecodeBundle(src); berr == nil {
-				// A timing-safe task bundle (cmd/wcet -bundle): run its
-				// embedded program.
-				prog = b.Program
-			} else {
-				prog, err = minic.Compile(flag.Arg(0), string(src))
-			}
-		}
-	default:
-		fmt.Fprintln(os.Stderr,
-			"usage: visasim [-proc simple|complex] [-mhz N] [-runs N] [-trace out.json] [-metrics out.jsonl] (-bench name | file.c)")
-		os.Exit(2)
-	}
+	proc, err := rt.ParseProc(*procFlag)
 	if err != nil {
 		fatal(err)
 	}
 
-	ic := cache.New(cache.VISAL1)
-	dc := cache.New(cache.VISAL1)
-	bus := memsys.NewBus(memsys.Default, *mhz)
-
-	reg := obs.NewRegistry()
-	ic.RegisterObs(reg, "icache")
-	dc.RegisterObs(reg, "dcache")
-	bus.RegisterObs(reg, "bus")
-
-	var feed func(*exec.DynInst) int64
-	var now func() int64
-	var rebase func(int64)
-	switch *proc {
-	case "simple":
-		p := simple.New(ic, dc, bus)
-		feed, now, rebase = p.Feed, p.Now, p.Rebase
-		p.RegisterObs(reg, "pipe")
-	case "complex":
-		p := ooo.New(ooo.Config{}, ic, dc, bus)
-		feed, now, rebase = p.Feed, p.Now, p.Rebase
-		p.RegisterObs(reg, "pipe")
+	var jobs []simJob
+	switch {
+	case *bench == "all":
+		for _, b := range clab.All() {
+			jobs = append(jobs, simJob{b.Name, b.MustProgram()})
+		}
+	case *bench != "":
+		for _, name := range strings.Split(*bench, ",") {
+			b := clab.ByName(name)
+			if b == nil {
+				fatal(fmt.Errorf("unknown benchmark %q (have %s)",
+					name, strings.Join(clab.Names(), " ")))
+			}
+			prog, err := b.Program()
+			if err != nil {
+				fatal(err)
+			}
+			jobs = append(jobs, simJob{b.Name, prog})
+		}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		var prog *isa.Program
+		if b, berr := core.DecodeBundle(src); berr == nil {
+			// A timing-safe task bundle (cmd/wcet -bundle): run its
+			// embedded program.
+			prog = b.Program
+		} else {
+			prog, err = minic.Compile(flag.Arg(0), string(src))
+			if err != nil {
+				fatal(err)
+			}
+		}
+		jobs = append(jobs, simJob{prog.Name, prog})
 	default:
-		fatal(fmt.Errorf("unknown processor %q", *proc))
+		fmt.Fprintln(os.Stderr,
+			"usage: visasim [-proc simple|complex] [-mhz N] [-runs N] [-j N] [-trace out.json] [-metrics out.jsonl] (-bench name[,name...]|all | file.c)")
+		os.Exit(2)
+	}
+
+	if len(jobs) > 1 && *tracePath != "" {
+		fatal(fmt.Errorf("-trace supports a single benchmark (the trace is one shared timeline)"))
 	}
 
 	var tr *obs.Tracer
@@ -122,102 +132,53 @@ func main() {
 		mw = obs.NewMetricsWriter(mf, obs.FormatForPath(*metricsPath))
 	}
 
-	taskName := prog.Name
-	pid := tr.Pid(taskName + "/" + *proc)
-	tr.ThreadName(pid, tidRun, "runs")
-	tr.ThreadName(pid, tidSub, "sub-tasks")
-	toNs := func(c int64) float64 { return float64(c) * 1000 / float64(*mhz) }
-
-	m := exec.New(prog)
-	baseNs := 0.0 // accumulated time of previous runs (rebase resets the clock)
-	for r := 0; r < *runs; r++ {
-		m.Reset()
-		rebase(0)
-		icPrev, dcPrev := ic.Stats(), dc.Stats()
-		curSub, subStart := -1, int64(0)
-		closeSub := func(end int64) {
-			if curSub < 0 {
-				return
-			}
-			tr.Complete(pid, tidSub, "subtask", fmt.Sprintf("sub-task %d", curSub),
-				baseNs+toNs(subStart), toNs(end-subStart),
-				obs.A("run", r), obs.A("sub_task", curSub))
-			mw.Write(obs.Record{
-				obs.F("kind", "subtask"),
-				obs.F("task", taskName),
-				obs.F("proc", *proc),
-				obs.F("run", r),
-				obs.F("sub_task", curSub),
-				obs.F("cycles", end-subStart),
-				obs.F("time_ns", toNs(end-subStart)),
-			})
-		}
-		for {
-			d, ok, err := m.Step()
-			if err != nil {
-				fatal(err)
-			}
-			if !ok {
-				break
-			}
-			if d.Inst.Op == isa.MARK {
-				t := now()
-				closeSub(t)
-				curSub, subStart = int(d.Inst.Imm), t
-			}
-			feed(&d)
-		}
-		cyc := now()
-		closeSub(cyc)
-		icD, dcD := ic.Stats().Delta(icPrev), dc.Stats().Delta(dcPrev)
-		tr.Complete(pid, tidRun, "run", fmt.Sprintf("run %d", r+1),
-			baseNs, toNs(cyc),
-			obs.A("instructions", m.Seq), obs.A("cycles", cyc),
-			obs.A("ipc", float64(m.Seq)/float64(cyc)))
-		tr.Counter(pid, "cache misses", baseNs+toNs(cyc),
-			obs.A("icache", icD.Misses), obs.A("dcache", dcD.Misses))
-		mw.Write(obs.Record{
-			obs.F("kind", "run"),
-			obs.F("task", taskName),
-			obs.F("proc", *proc),
-			obs.F("run", r),
-			obs.F("instructions", m.Seq),
-			obs.F("cycles", cyc),
-			obs.F("time_ns", toNs(cyc)),
-			obs.F("ipc", float64(m.Seq)/float64(cyc)),
-			obs.F("icache_misses", icD.Misses),
-			obs.F("dcache_misses", dcD.Misses),
-		})
-		baseNs += toNs(cyc)
-
-		us := toNs(cyc) / 1000
-		fmt.Printf("run %d: %d instructions, %d cycles (%.1f us at %d MHz), IPC %.2f\n",
-			r+1, m.Seq, cyc, us, *mhz, float64(m.Seq)/float64(cyc))
+	// Run the jobs: directly against the real writers when there is a
+	// single job (or worker), otherwise into per-job record buffers that
+	// are replayed in benchmark order — the same deterministic-merge
+	// discipline as the rt experiment engine.
+	outputs := make([]string, len(jobs))
+	errs := make([]error, len(jobs))
+	bufs := make([]*obs.MetricsWriter, len(jobs))
+	workers := *j
+	if workers <= 0 {
+		workers = 1
 	}
-	fmt.Printf("I-cache: %d accesses, %d misses (%.2f%%)\n",
-		ic.Stats().Accesses, ic.Stats().Misses, 100*ic.Stats().MissRate())
-	fmt.Printf("D-cache: %d accesses, %d misses (%.2f%%)\n",
-		dc.Stats().Accesses, dc.Stats().Misses, 100*dc.Stats().MissRate())
-	if len(m.Out) > 0 {
-		fmt.Printf("out: %v\n", m.Out)
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
-	if len(m.OutF) > 0 {
-		fmt.Printf("outf: %v\n", m.OutF)
+	if len(jobs) == 1 {
+		outputs[0], errs[0] = runSim(jobs[0], proc, *mhz, *runs, tr, mw)
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if mw != nil {
+						bufs[i] = obs.NewRecordBuffer()
+					}
+					outputs[i], errs[i] = runSim(jobs[i], proc, *mhz, *runs, nil, bufs[i])
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
 	}
 
-	for _, s := range reg.Snapshot() {
-		rec := obs.Record{
-			obs.F("kind", "counter"),
-			obs.F("task", taskName),
-			obs.F("proc", *proc),
-			obs.F("name", s.Name),
+	for i, job := range jobs {
+		if errs[i] != nil {
+			fatal(errs[i])
 		}
-		if s.Integer {
-			rec = append(rec, obs.F("value", s.Int()))
-		} else {
-			rec = append(rec, obs.F("value", s.Value))
+		if len(jobs) > 1 {
+			fmt.Printf("== %s ==\n", job.name)
 		}
-		mw.Write(rec)
+		fmt.Print(outputs[i])
+		bufs[i].Replay(mw)
 	}
 
 	if tr != nil {
@@ -242,6 +203,135 @@ func main() {
 		}
 		fmt.Printf("metrics: %d records -> %s\n", mw.Count(), *metricsPath)
 	}
+}
+
+// runSim executes one program on one processor model and returns its
+// human-readable report. Trace events (tr may be nil) and metrics records
+// (mw may be nil) describe the same execution in machine-readable form.
+func runSim(job simJob, proc rt.Proc, mhz, runs int, tr *obs.Tracer, mw *obs.MetricsWriter) (string, error) {
+	var out strings.Builder
+	procName := proc.String()
+
+	ic := cache.New(cache.VISAL1)
+	dc := cache.New(cache.VISAL1)
+	bus := memsys.NewBus(memsys.Default, mhz)
+
+	reg := obs.NewRegistry()
+	ic.RegisterObs(reg, "icache")
+	dc.RegisterObs(reg, "dcache")
+	bus.RegisterObs(reg, "bus")
+
+	var feed func(*exec.DynInst) int64
+	var now func() int64
+	var rebase func(int64)
+	if proc == rt.ProcSimpleFixed {
+		p := simple.New(ic, dc, bus)
+		feed, now, rebase = p.Feed, p.Now, p.Rebase
+		p.RegisterObs(reg, "pipe")
+	} else {
+		p := ooo.New(ooo.Config{}, ic, dc, bus)
+		feed, now, rebase = p.Feed, p.Now, p.Rebase
+		p.RegisterObs(reg, "pipe")
+	}
+
+	taskName := job.name
+	pid := tr.Pid(taskName + "/" + procName)
+	tr.ThreadName(pid, tidRun, "runs")
+	tr.ThreadName(pid, tidSub, "sub-tasks")
+	toNs := func(c int64) float64 { return float64(c) * 1000 / float64(mhz) }
+
+	m := exec.New(job.prog)
+	baseNs := 0.0 // accumulated time of previous runs (rebase resets the clock)
+	for r := 0; r < runs; r++ {
+		m.Reset()
+		rebase(0)
+		icPrev, dcPrev := ic.Stats(), dc.Stats()
+		curSub, subStart := -1, int64(0)
+		closeSub := func(end int64) {
+			if curSub < 0 {
+				return
+			}
+			tr.Complete(pid, tidSub, "subtask", fmt.Sprintf("sub-task %d", curSub),
+				baseNs+toNs(subStart), toNs(end-subStart),
+				obs.A("run", r), obs.A("sub_task", curSub))
+			mw.Write(obs.Record{
+				obs.F("kind", "subtask"),
+				obs.F("task", taskName),
+				obs.F("proc", procName),
+				obs.F("run", r),
+				obs.F("sub_task", curSub),
+				obs.F("cycles", end-subStart),
+				obs.F("time_ns", toNs(end-subStart)),
+			})
+		}
+		for {
+			d, ok, err := m.Step()
+			if err != nil {
+				return "", err
+			}
+			if !ok {
+				break
+			}
+			if d.Inst.Op == isa.MARK {
+				t := now()
+				closeSub(t)
+				curSub, subStart = int(d.Inst.Imm), t
+			}
+			feed(&d)
+		}
+		cyc := now()
+		closeSub(cyc)
+		icD, dcD := ic.Stats().Delta(icPrev), dc.Stats().Delta(dcPrev)
+		tr.Complete(pid, tidRun, "run", fmt.Sprintf("run %d", r+1),
+			baseNs, toNs(cyc),
+			obs.A("instructions", m.Seq), obs.A("cycles", cyc),
+			obs.A("ipc", float64(m.Seq)/float64(cyc)))
+		tr.Counter(pid, "cache misses", baseNs+toNs(cyc),
+			obs.A("icache", icD.Misses), obs.A("dcache", dcD.Misses))
+		mw.Write(obs.Record{
+			obs.F("kind", "run"),
+			obs.F("task", taskName),
+			obs.F("proc", procName),
+			obs.F("run", r),
+			obs.F("instructions", m.Seq),
+			obs.F("cycles", cyc),
+			obs.F("time_ns", toNs(cyc)),
+			obs.F("ipc", float64(m.Seq)/float64(cyc)),
+			obs.F("icache_misses", icD.Misses),
+			obs.F("dcache_misses", dcD.Misses),
+		})
+		baseNs += toNs(cyc)
+
+		us := toNs(cyc) / 1000
+		fmt.Fprintf(&out, "run %d: %d instructions, %d cycles (%.1f us at %d MHz), IPC %.2f\n",
+			r+1, m.Seq, cyc, us, mhz, float64(m.Seq)/float64(cyc))
+	}
+	fmt.Fprintf(&out, "I-cache: %d accesses, %d misses (%.2f%%)\n",
+		ic.Stats().Accesses, ic.Stats().Misses, 100*ic.Stats().MissRate())
+	fmt.Fprintf(&out, "D-cache: %d accesses, %d misses (%.2f%%)\n",
+		dc.Stats().Accesses, dc.Stats().Misses, 100*dc.Stats().MissRate())
+	if len(m.Out) > 0 {
+		fmt.Fprintf(&out, "out: %v\n", m.Out)
+	}
+	if len(m.OutF) > 0 {
+		fmt.Fprintf(&out, "outf: %v\n", m.OutF)
+	}
+
+	for _, s := range reg.Snapshot() {
+		rec := obs.Record{
+			obs.F("kind", "counter"),
+			obs.F("task", taskName),
+			obs.F("proc", procName),
+			obs.F("name", s.Name),
+		}
+		if s.Integer {
+			rec = append(rec, obs.F("value", s.Int()))
+		} else {
+			rec = append(rec, obs.F("value", s.Value))
+		}
+		mw.Write(rec)
+	}
+	return out.String(), nil
 }
 
 func fatal(err error) {

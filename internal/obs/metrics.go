@@ -61,6 +61,9 @@ type MetricsWriter struct {
 	header []string
 	err    error
 	n      int
+
+	buffer bool
+	recs   []Record
 }
 
 // NewMetricsWriter creates a writer emitting the given format to w.
@@ -68,9 +71,42 @@ func NewMetricsWriter(w io.Writer, format Format) *MetricsWriter {
 	return &MetricsWriter{w: w, format: format}
 }
 
+// NewRecordBuffer returns a MetricsWriter that retains records in memory
+// instead of encoding them. Replay hands the retained records to a real
+// writer in insertion order; because the encoders are deterministic, a
+// buffered-then-replayed stream is byte-identical to direct writes. The
+// parallel experiment engine gives each job its own buffer and replays
+// them in plan order, which is what makes concurrent runs reproducible.
+func NewRecordBuffer() *MetricsWriter { return &MetricsWriter{buffer: true} }
+
+// Records returns the retained records of a buffered writer (nil for
+// streaming writers and on nil).
+func (m *MetricsWriter) Records() []Record {
+	if m == nil {
+		return nil
+	}
+	return m.recs
+}
+
+// Replay writes every retained record to dst in insertion order. No-op on
+// nil (so disabled-instrumentation paths need no guards).
+func (m *MetricsWriter) Replay(dst *MetricsWriter) {
+	if m == nil {
+		return
+	}
+	for _, rec := range m.recs {
+		dst.Write(rec)
+	}
+}
+
 // Write emits one record. No-op on nil or after an error.
 func (m *MetricsWriter) Write(rec Record) {
 	if m == nil || m.err != nil {
+		return
+	}
+	if m.buffer {
+		m.recs = append(m.recs, rec)
+		m.n++
 		return
 	}
 	switch m.format {

@@ -1,0 +1,130 @@
+package rt
+
+import (
+	"runtime"
+	"sync"
+
+	"visa/internal/obs"
+)
+
+// Engine executes experiment plans on a worker pool with a deterministic
+// merge: however many workers run, the report's rows, rendered text, and
+// metrics stream are byte-identical to a serial run.
+//
+// Three mechanisms give that guarantee. Each job writes its metrics into a
+// private record buffer (obs.NewRecordBuffer) that the engine replays into
+// Sink in plan order once the jobs finish. Rows are stored at the job's
+// plan index, so renderers see plan order regardless of completion order.
+// And when several jobs fail, the error reported is the first in plan
+// order — with the metrics of the jobs preceding it replayed, exactly as a
+// serial run would have left the stream.
+type Engine struct {
+	// Workers is the pool size; <= 0 selects runtime.NumCPU().
+	Workers int
+
+	// Sink receives the merged metrics stream. Attaching a Tracer or
+	// Registry forces serial execution: their timelines/name-spaces are
+	// shared mutable state that only an in-order run keeps deterministic.
+	Sink *obs.Sink
+}
+
+// Run validates every job, executes the plan, merges results in plan
+// order, and renders the report text.
+func (e *Engine) Run(p *Plan) (*Report, error) {
+	for i := range p.Jobs {
+		// Validate against the engine's sink: the per-job sink the engine
+		// injects has metrics attached exactly when the engine's does.
+		cfg := p.Jobs[i].Config
+		cfg.Obs = e.sink()
+		if err := cfg.Validate(); err != nil {
+			return nil, errf("rt: plan %s job %d (%s): %v", p.Name, i, p.Jobs[i].Bench.Name, err)
+		}
+	}
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if e.sink().T() != nil || e.sink().R() != nil {
+		workers = 1
+	}
+	if workers > len(p.Jobs) {
+		workers = len(p.Jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]JobResult, len(p.Jobs))
+	errs := make([]error, len(p.Jobs))
+	bufs := make([]*obs.MetricsWriter, len(p.Jobs))
+	metricsOn := e.sink().M() != nil
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sink := &obs.Sink{}
+				if metricsOn {
+					bufs[i] = obs.NewRecordBuffer()
+					sink.Metrics = bufs[i]
+				}
+				if workers == 1 {
+					// Serial runs may share the engine's tracer and
+					// counter registry directly: jobs arrive in order.
+					sink.Trace = e.sink().T()
+					sink.Registry = e.sink().R()
+				}
+				results[i], errs[i] = runJob(p.Jobs[i], sink)
+			}
+		}()
+	}
+	for i := range p.Jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	// Deterministic merge: replay each job's records in plan order; a
+	// failed job contributes whatever it wrote before failing (as in a
+	// serial run) and ends the stream.
+	mw := e.sink().M()
+	for i := range p.Jobs {
+		bufs[i].Replay(mw)
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+
+	rep := &Report{Plan: p, Results: results}
+	if p.Render != nil {
+		rep.Text = p.Render(rep)
+	}
+	return rep, nil
+}
+
+// sink returns the engine's sink, which may be nil (instrumentation off).
+func (e *Engine) sink() *obs.Sink { return e.Sink }
+
+// runJob executes one job against the given (per-job) sink.
+func runJob(job Job, sink *obs.Sink) (JobResult, error) {
+	switch job.Kind {
+	case JobTable3:
+		row, err := table3Row(job.Bench, sink)
+		if err != nil {
+			return JobResult{}, err
+		}
+		return JobResult{Table3: &row}, nil
+	default:
+		cfg := job.Config
+		cfg.Obs = sink
+		row, err := RunComparison(job.Bench, cfg)
+		if err != nil {
+			return JobResult{}, err
+		}
+		return JobResult{Savings: row}, nil
+	}
+}

@@ -22,61 +22,72 @@ type Table3Row struct {
 	SimOverCmplx float64
 }
 
-// Table3 computes the per-benchmark static-analysis and actual-time summary
-// (paper Table 3 / §6.1). When sink carries a metrics writer, each row is
-// also emitted as a kind:"table3" record, followed by one
-// kind:"table3_subtask" record per sub-task with its WCET bound and D-cache
-// pad — the machine-readable form of the printed table.
-func Table3(benches []*clab.Benchmark, sink *obs.Sink) ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, b := range benches {
-		s, err := GetSetup(b)
-		if err != nil {
-			return nil, err
-		}
-		wcetUs := s.Table.TotalTimeNs(len(s.Table.Points)-1) / 1000
-		simUs := float64(s.SteadySimpleCycles) / 1000
-		cxUs := float64(s.SteadyComplexCycles) / 1000
-		row := Table3Row{
-			Name:         b.Name,
-			DynInsts:     s.DynInsts,
-			TightNs:      s.Deadline(true),
-			LooseNs:      s.Deadline(false),
-			SubTasks:     b.SubTasks,
-			WCETUs:       wcetUs,
-			SimpleUs:     simUs,
-			ComplexUs:    cxUs,
-			WCETOverSim:  wcetUs / simUs,
-			SimOverCmplx: simUs / cxUs,
-		}
-		rows = append(rows, row)
-		if mw := sink.M(); mw != nil {
+// table3Row computes one benchmark's static-analysis and actual-time
+// summary (paper Table 3 / §6.1). When sink carries a metrics writer, the
+// row is also emitted as a kind:"table3" record, followed by one
+// kind:"table3_subtask" record per sub-task with its WCET bound and
+// D-cache pad — the machine-readable form of the printed table.
+func table3Row(b *clab.Benchmark, sink *obs.Sink) (Table3Row, error) {
+	s, err := GetSetup(b)
+	if err != nil {
+		return Table3Row{}, err
+	}
+	wcetUs := s.Table.TotalTimeNs(len(s.Table.Points)-1) / 1000
+	simUs := float64(s.SteadySimpleCycles) / 1000
+	cxUs := float64(s.SteadyComplexCycles) / 1000
+	row := Table3Row{
+		Name:         b.Name,
+		DynInsts:     s.DynInsts,
+		TightNs:      s.Deadline(true),
+		LooseNs:      s.Deadline(false),
+		SubTasks:     b.SubTasks,
+		WCETUs:       wcetUs,
+		SimpleUs:     simUs,
+		ComplexUs:    cxUs,
+		WCETOverSim:  wcetUs / simUs,
+		SimOverCmplx: simUs / cxUs,
+	}
+	if mw := sink.M(); mw != nil {
+		mw.Write(obs.Record{
+			obs.F("kind", "table3"),
+			obs.F("bench", row.Name),
+			obs.F("dyn_insts", row.DynInsts),
+			obs.F("tight_ns", row.TightNs),
+			obs.F("loose_ns", row.LooseNs),
+			obs.F("sub_tasks", row.SubTasks),
+			obs.F("wcet_us", row.WCETUs),
+			obs.F("simple_us", row.SimpleUs),
+			obs.F("complex_us", row.ComplexUs),
+			obs.F("wcet_over_simple", row.WCETOverSim),
+			obs.F("simple_over_complex", row.SimOverCmplx),
+		})
+		last := len(s.Table.Points) - 1
+		for k := 0; k < s.Table.NumSubTasks(); k++ {
 			mw.Write(obs.Record{
-				obs.F("kind", "table3"),
+				obs.F("kind", "table3_subtask"),
 				obs.F("bench", row.Name),
-				obs.F("dyn_insts", row.DynInsts),
-				obs.F("tight_ns", row.TightNs),
-				obs.F("loose_ns", row.LooseNs),
-				obs.F("sub_tasks", row.SubTasks),
-				obs.F("wcet_us", row.WCETUs),
-				obs.F("simple_us", row.SimpleUs),
-				obs.F("complex_us", row.ComplexUs),
-				obs.F("wcet_over_simple", row.WCETOverSim),
-				obs.F("simple_over_complex", row.SimOverCmplx),
+				obs.F("sub_task", k),
+				obs.F("wcet_cycles_1ghz", s.Table.Cycles[last][k]),
+				obs.F("dcache_pad", s.DPad[k]),
 			})
-			last := len(s.Table.Points) - 1
-			for k := 0; k < s.Table.NumSubTasks(); k++ {
-				mw.Write(obs.Record{
-					obs.F("kind", "table3_subtask"),
-					obs.F("bench", row.Name),
-					obs.F("sub_task", k),
-					obs.F("wcet_cycles_1ghz", s.Table.Cycles[last][k]),
-					obs.F("dcache_pad", s.DPad[k]),
-				})
-			}
 		}
 	}
-	return rows, nil
+	return row, nil
+}
+
+// Table3Plan builds the Table 3 plan: one JobTable3 per benchmark.
+func Table3Plan(benches []*clab.Benchmark) *Plan {
+	jobs := make([]Job, len(benches))
+	for i, b := range benches {
+		jobs[i] = Job{Bench: b, Kind: JobTable3, Config: Config{Label: "table3"}}
+	}
+	return &Plan{
+		Name: "table3",
+		Jobs: jobs,
+		Render: func(r *Report) string {
+			return FormatTable3(r.Table3Rows())
+		},
+	}
 }
 
 // FormatTable3 renders rows like the paper's Table 3.
@@ -121,17 +132,20 @@ type SavingsRow struct {
 // injects mispredictions into the VISA-compliant core; simple-fixed is the
 // unperturbed baseline).
 func RunComparison(b *clab.Benchmark, cfg Config) (*SavingsRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	s, err := GetSetup(b)
 	if err != nil {
 		return nil, err
 	}
-	cx, err := RunProcessor(s, true, cfg)
+	cx, err := RunProcessor(s, ProcComplex, cfg)
 	if err != nil {
 		return nil, err
 	}
 	simpleCfg := cfg
 	simpleCfg.FlushTasks = 0
-	sf, err := RunProcessor(s, false, simpleCfg)
+	sf, err := RunProcessor(s, ProcSimpleFixed, simpleCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -170,103 +184,117 @@ func RunComparison(b *clab.Benchmark, cfg Config) (*SavingsRow, error) {
 	return row, nil
 }
 
-// Figure2 runs the headline experiment: power savings of the VISA-compliant
-// complex processor relative to simple-fixed, tight and loose deadlines,
-// with and without 10% standby power.
-func Figure2(benches []*clab.Benchmark, instances int, sink *obs.Sink) (string, []SavingsRow, error) {
-	var b strings.Builder
-	var all []SavingsRow
-	fmt.Fprintf(&b, "FIGURE 2. Power savings of the VISA-compliant complex processor\n")
-	fmt.Fprintf(&b, "relative to simple-fixed (T=tight, L=loose deadline).\n\n")
-	fmt.Fprintf(&b, "%-8s %6s %14s %14s %12s %12s\n",
-		"bench", "dl", "savings", "savings+stby", "simple MHz", "complex MHz")
-	for _, bench := range benches {
+// Figure2Plan builds the headline experiment: power savings of the
+// VISA-compliant complex processor relative to simple-fixed, tight and
+// loose deadlines, with and without 10% standby power. Per benchmark the
+// jobs run in the order T, T+stby, L, L+stby; the renderer consumes them
+// pairwise.
+func Figure2Plan(benches []*clab.Benchmark, instances int) *Plan {
+	var jobs []Job
+	for _, b := range benches {
 		for _, tight := range []bool{true, false} {
 			tag := "T"
 			if !tight {
 				tag = "L"
 			}
-			row, err := RunComparison(bench, Config{Tight: tight, Instances: instances,
-				Obs: sink, Label: "fig2/" + tag})
-			if err != nil {
-				return "", nil, err
-			}
-			sb, err := RunComparison(bench, Config{Tight: tight, Instances: instances, Standby: true,
-				Obs: sink, Label: "fig2/" + tag + "+stby"})
-			if err != nil {
-				return "", nil, err
-			}
-			fmt.Fprintf(&b, "%-8s %6s %13.1f%% %13.1f%% %12d %12d\n",
-				bench.Name, tag, row.Savings*100, sb.Savings*100,
-				row.Simple.FinalSpecMHz, row.Complex.FinalSpecMHz)
-			all = append(all, *row, *sb)
+			jobs = append(jobs,
+				Job{Bench: b, Config: Config{Tight: tight, Instances: instances,
+					Label: "fig2/" + tag}},
+				Job{Bench: b, Config: Config{Tight: tight, Instances: instances, Standby: true,
+					Label: "fig2/" + tag + "+stby"}})
 		}
 	}
-	return b.String(), all, nil
+	return &Plan{Name: "fig2", Jobs: jobs, Render: renderFigure2}
 }
 
-// Figure3 grants simple-fixed 1.5x the frequency at equal voltage (tight
-// deadline).
-func Figure3(benches []*clab.Benchmark, instances int, sink *obs.Sink) (string, []SavingsRow, error) {
+func renderFigure2(r *Report) string {
 	var b strings.Builder
-	var all []SavingsRow
+	fmt.Fprintf(&b, "FIGURE 2. Power savings of the VISA-compliant complex processor\n")
+	fmt.Fprintf(&b, "relative to simple-fixed (T=tight, L=loose deadline).\n\n")
+	fmt.Fprintf(&b, "%-8s %6s %14s %14s %12s %12s\n",
+		"bench", "dl", "savings", "savings+stby", "simple MHz", "complex MHz")
+	rows := r.SavingsRows()
+	for i := 0; i+1 < len(rows); i += 2 {
+		row, sb := rows[i], rows[i+1]
+		tag := "T"
+		if !row.Tight {
+			tag = "L"
+		}
+		fmt.Fprintf(&b, "%-8s %6s %13.1f%% %13.1f%% %12d %12d\n",
+			row.Name, tag, row.Savings*100, sb.Savings*100,
+			row.Simple.FinalSpecMHz, row.Complex.FinalSpecMHz)
+	}
+	return b.String()
+}
+
+// Figure3Plan grants simple-fixed 1.5x the frequency at equal voltage
+// (tight deadline). Per benchmark: base then +stby.
+func Figure3Plan(benches []*clab.Benchmark, instances int) *Plan {
+	var jobs []Job
+	for _, b := range benches {
+		jobs = append(jobs,
+			Job{Bench: b, Config: Config{Tight: true, FreqAdvantage: 1.5, Instances: instances,
+				Label: "fig3"}},
+			Job{Bench: b, Config: Config{Tight: true, FreqAdvantage: 1.5, Instances: instances,
+				Standby: true, Label: "fig3+stby"}})
+	}
+	return &Plan{Name: "fig3", Jobs: jobs, Render: renderFigure3}
+}
+
+func renderFigure3(r *Report) string {
+	var b strings.Builder
 	fmt.Fprintf(&b, "FIGURE 3. Power savings with simple-fixed granted 1.5x frequency\n")
 	fmt.Fprintf(&b, "at equal voltage (tight deadline).\n\n")
 	fmt.Fprintf(&b, "%-8s %14s %14s %12s %12s\n",
 		"bench", "savings", "savings+stby", "simple MHz", "complex MHz")
-	for _, bench := range benches {
-		cfg := Config{Tight: true, FreqAdvantage: 1.5, Instances: instances,
-			Obs: sink, Label: "fig3"}
-		row, err := RunComparison(bench, cfg)
-		if err != nil {
-			return "", nil, err
-		}
-		cfg.Standby = true
-		cfg.Label = "fig3+stby"
-		sb, err := RunComparison(bench, cfg)
-		if err != nil {
-			return "", nil, err
-		}
+	rows := r.SavingsRows()
+	for i := 0; i+1 < len(rows); i += 2 {
+		row, sb := rows[i], rows[i+1]
 		fmt.Fprintf(&b, "%-8s %13.1f%% %13.1f%% %12d %12d\n",
-			bench.Name, row.Savings*100, sb.Savings*100,
+			row.Name, row.Savings*100, sb.Savings*100,
 			row.Simple.FinalSpecMHz, row.Complex.FinalSpecMHz)
-		all = append(all, *row, *sb)
 	}
-	return b.String(), all, nil
+	return b.String()
 }
 
-// Figure4 injects mispredictions by flushing caches and predictors at the
-// start of 10%, 20%, and 30% of tasks (tight deadline) and reports the
-// decline in savings; every deadline must still be met.
-func Figure4(benches []*clab.Benchmark, instances int, sink *obs.Sink) (string, []SavingsRow, error) {
+// figure4Pcts are the misprediction-injection rates of Figure 4, in job
+// order per benchmark.
+var figure4Pcts = []int{0, 10, 20, 30}
+
+// Figure4Plan injects mispredictions by flushing caches and predictors at
+// the start of 10%, 20%, and 30% of tasks (tight deadline); every deadline
+// must still be met. Per benchmark: one job per rate, 0% first.
+func Figure4Plan(benches []*clab.Benchmark, instances int) *Plan {
+	n := instances
+	if n == 0 {
+		n = Instances
+	}
+	var jobs []Job
+	for _, b := range benches {
+		for _, pct := range figure4Pcts {
+			jobs = append(jobs, Job{Bench: b, Config: Config{
+				Tight: true, Instances: n, FlushTasks: n * pct / 100,
+				Label: fmt.Sprintf("fig4/%d%%", pct)}})
+		}
+	}
+	return &Plan{Name: "fig4", Jobs: jobs, Render: renderFigure4}
+}
+
+func renderFigure4(r *Report) string {
 	var b strings.Builder
-	var all []SavingsRow
 	fmt.Fprintf(&b, "FIGURE 4. Power savings with injected mispredictions\n")
 	fmt.Fprintf(&b, "(caches+predictors flushed at the start of 10%%/20%%/30%% of tasks).\n\n")
 	fmt.Fprintf(&b, "%-8s %10s %10s %10s %10s %14s\n",
 		"bench", "0%", "10%", "20%", "30%", "missed@30%")
-	for _, bench := range benches {
-		fmt.Fprintf(&b, "%-8s ", bench.Name)
-		var missed int
-		for _, pct := range []int{0, 10, 20, 30} {
-			n := instances
-			if n == 0 {
-				n = Instances
-			}
-			cfg := Config{Tight: true, Instances: n, FlushTasks: n * pct / 100,
-				Obs: sink, Label: fmt.Sprintf("fig4/%d%%", pct)}
-			row, err := RunComparison(bench, cfg)
-			if err != nil {
-				return "", nil, err
-			}
-			fmt.Fprintf(&b, "%9.1f%% ", row.Savings*100)
-			all = append(all, *row)
-			if pct == 30 {
-				missed = row.Complex.MissedTasks
-			}
+	rows := r.SavingsRows()
+	k := len(figure4Pcts)
+	for i := 0; i+k-1 < len(rows); i += k {
+		fmt.Fprintf(&b, "%-8s ", rows[i].Name)
+		for j := 0; j < k; j++ {
+			fmt.Fprintf(&b, "%9.1f%% ", rows[i+j].Savings*100)
 		}
-		fmt.Fprintf(&b, "%14d\n", missed)
+		fmt.Fprintf(&b, "%14d\n", rows[i+k-1].Complex.MissedTasks)
 	}
 	fmt.Fprintf(&b, "\nAll deadlines met in every run (checked).\n")
-	return b.String(), all, nil
+	return b.String()
 }

@@ -169,10 +169,11 @@ func TestInstanceRecordsReconcile(t *testing.T) {
 func TestTable3Records(t *testing.T) {
 	var metrics bytes.Buffer
 	sink := &obs.Sink{Metrics: obs.NewMetricsWriter(&metrics, obs.FormatJSONL)}
-	rows, err := Table3(clab.All(), sink)
+	rep, err := (&Engine{Workers: 1, Sink: sink}).Run(Table3Plan(clab.All()))
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows := rep.Table3Rows()
 	if err := sink.Metrics.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,79 @@
+package rt
+
+import "visa/internal/clab"
+
+// JobKind selects what one job computes.
+type JobKind int
+
+const (
+	// JobComparison runs both processors under the job's Config and yields
+	// a SavingsRow (the Figure 2-4 unit of work).
+	JobComparison JobKind = iota
+	// JobTable3 computes the benchmark's static-analysis/actual-time
+	// summary and yields a Table3Row.
+	JobTable3
+)
+
+// Job is one independently runnable unit of an experiment plan: one
+// benchmark under one configuration. Jobs share no mutable state, so an
+// Engine may execute them in any order and on any number of workers.
+// Config.Obs is ignored — the engine injects a per-job sink so that the
+// metrics stream can be merged deterministically.
+type Job struct {
+	Bench  *clab.Benchmark
+	Kind   JobKind
+	Config Config
+}
+
+// Plan is a named, ordered experiment: the jobs to run and how to render
+// their rows. The plan constructors (Table3Plan, Figure2Plan, Figure3Plan,
+// Figure4Plan) reproduce the paper's evaluation; custom plans compose the
+// same pieces for new sweeps.
+type Plan struct {
+	Name string
+	Jobs []Job
+
+	// Render formats the finished report's text. It must derive output
+	// from the report's rows only — which are always in plan order —
+	// never from execution order, so the text is identical however the
+	// plan was executed.
+	Render func(*Report) string
+}
+
+// JobResult is one job's outcome; exactly one field is non-nil, matching
+// the job's kind.
+type JobResult struct {
+	Savings *SavingsRow
+	Table3  *Table3Row
+}
+
+// Report is a finished plan: per-job typed rows in plan order plus the
+// rendered text. By the time Engine.Run returns a Report, every job's
+// metrics records have been replayed into the engine's sink in plan order.
+type Report struct {
+	Plan    *Plan
+	Results []JobResult
+	Text    string
+}
+
+// SavingsRows returns the comparison rows in plan order.
+func (r *Report) SavingsRows() []SavingsRow {
+	var out []SavingsRow
+	for _, res := range r.Results {
+		if res.Savings != nil {
+			out = append(out, *res.Savings)
+		}
+	}
+	return out
+}
+
+// Table3Rows returns the Table 3 rows in plan order.
+func (r *Report) Table3Rows() []Table3Row {
+	var out []Table3Row
+	for _, res := range r.Results {
+		if res.Table3 != nil {
+			out = append(out, *res.Table3)
+		}
+	}
+	return out
+}

@@ -53,6 +53,35 @@ const (
 	DVSSoftwareCycles = 2000
 )
 
+// Proc selects one of the two processor models an experiment can run.
+type Proc int
+
+const (
+	// ProcSimpleFixed is the explicitly-safe simple pipeline at a fixed
+	// frequency (the paper's baseline).
+	ProcSimpleFixed Proc = iota
+	// ProcComplex is the VISA-compliant out-of-order core.
+	ProcComplex
+)
+
+func (p Proc) String() string {
+	if p == ProcComplex {
+		return "complex"
+	}
+	return "simple-fixed"
+}
+
+// ParseProc maps a command-line spelling to a Proc.
+func ParseProc(s string) (Proc, error) {
+	switch s {
+	case "complex":
+		return ProcComplex, nil
+	case "simple", "simple-fixed":
+		return ProcSimpleFixed, nil
+	}
+	return 0, errf("rt: unknown processor %q (want simple or complex)", s)
+}
+
 // Setup bundles everything derived statically from one benchmark: the
 // compiled program, the analyzer, the profile-derived D-cache pad, and the
 // per-operating-point WCET table. Building it is expensive (37 analysis
@@ -70,22 +99,32 @@ type Setup struct {
 	SteadyComplexCycles int64
 	DynInsts            int64
 
+	mu         sync.Mutex // guards the boosted-table cache
 	boosted    *core.WCETTable
 	boostedAdv float64
 }
 
-var (
-	setupMu    sync.Mutex
-	setupCache = map[string]*Setup{}
-)
+// setupEntry memoizes one benchmark's Setup build (success or failure).
+type setupEntry struct {
+	once sync.Once
+	s    *Setup
+	err  error
+}
 
-// GetSetup builds (or returns the cached) setup for a benchmark.
+var setupCache sync.Map // benchmark name -> *setupEntry
+
+// GetSetup builds (or returns the cached) setup for a benchmark. It is safe
+// for concurrent callers: each benchmark is built exactly once (errors are
+// cached too, so a failing build is not retried), and different benchmarks
+// build in parallel rather than serializing on one lock.
 func GetSetup(b *clab.Benchmark) (*Setup, error) {
-	setupMu.Lock()
-	defer setupMu.Unlock()
-	if s, ok := setupCache[b.Name]; ok {
-		return s, nil
-	}
+	e, _ := setupCache.LoadOrStore(b.Name, &setupEntry{})
+	ent := e.(*setupEntry)
+	ent.once.Do(func() { ent.s, ent.err = buildSetup(b) })
+	return ent.s, ent.err
+}
+
+func buildSetup(b *clab.Benchmark) (*Setup, error) {
 	prog, err := b.Program()
 	if err != nil {
 		return nil, err
@@ -100,7 +139,7 @@ func GetSetup(b *clab.Benchmark) (*Setup, error) {
 	// padding, which must cover the worst (cold) case. A steady-state run
 	// supplies the Table 3 "actual time" values, since the paper's task is
 	// periodic.
-	sim := newProcSim(prog, procSimpleFixed, 1000)
+	sim := newProcSim(prog, ProcSimpleFixed, 1000)
 	cold, err := sim.profile()
 	if err != nil {
 		return nil, err
@@ -118,7 +157,7 @@ func GetSetup(b *clab.Benchmark) (*Setup, error) {
 		return nil, err
 	}
 
-	cx := newProcSim(prog, procComplex, 1000)
+	cx := newProcSim(prog, ProcComplex, 1000)
 	if _, err := cx.profile(); err != nil {
 		return nil, err
 	}
@@ -138,7 +177,6 @@ func GetSetup(b *clab.Benchmark) (*Setup, error) {
 		SteadyComplexCycles: cxWarm.totalCycles,
 		DynInsts:            warm.dynInsts,
 	}
-	setupCache[b.Name] = s
 	return s, nil
 }
 
@@ -146,8 +184,8 @@ func GetSetup(b *clab.Benchmark) (*Setup, error) {
 // advantage at equal voltage (Figure 3): every operating point's frequency
 // is multiplied by adv, keeping the base table's voltages.
 func (s *Setup) BoostedTable(adv float64) (*core.WCETTable, error) {
-	setupMu.Lock()
-	defer setupMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.boosted != nil && s.boostedAdv == adv {
 		return s.boosted, nil
 	}
@@ -264,6 +302,30 @@ type Config struct {
 	// records, and counter names so one sink can host many experiments.
 	Obs   *obs.Sink
 	Label string
+}
+
+// Validate rejects configurations that would otherwise silently misbehave.
+// Every run entry point (RunProcessor, RunComparison, RunSMT, Engine.Run)
+// calls it before doing any work.
+func (c Config) Validate() error {
+	if c.Instances < 0 {
+		return errf("rt: config: negative Instances (%d)", c.Instances)
+	}
+	if c.FlushTasks < 0 {
+		return errf("rt: config: negative FlushTasks (%d)", c.FlushTasks)
+	}
+	if c.FlushTasks > c.instances() {
+		return errf("rt: config: FlushTasks (%d) exceeds Instances (%d)",
+			c.FlushTasks, c.instances())
+	}
+	if c.FreqAdvantage != 0 && c.FreqAdvantage < 1 {
+		return errf("rt: config: FreqAdvantage %g < 1 would slow simple-fixed down (use 0 or >= 1)",
+			c.FreqAdvantage)
+	}
+	if c.Obs.M() != nil && c.Label == "" {
+		return errf("rt: config: empty Label with metrics attached (records would be unattributable)")
+	}
+	return nil
 }
 
 // obsPrefix builds the counter-registry prefix for one processor's run.

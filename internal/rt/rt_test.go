@@ -21,8 +21,8 @@ func TestDeadlinesAlwaysMet(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, tight := range []bool{true, false} {
-				for _, complexProc := range []bool{true, false} {
-					res, err := RunProcessor(s, complexProc, Config{
+				for _, proc := range []Proc{ProcComplex, ProcSimpleFixed} {
+					res, err := RunProcessor(s, proc, Config{
 						Tight: tight, Instances: testInstances,
 					})
 					if err != nil {
@@ -174,10 +174,11 @@ func TestDeterminism(t *testing.T) {
 
 // TestTable3Shape verifies the qualitative Table 3 findings (§6.1).
 func TestTable3Shape(t *testing.T) {
-	rows, err := Table3(clab.All(), nil)
+	rep, err := (&Engine{Workers: 1}).Run(Table3Plan(clab.All()))
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows := rep.Table3Rows()
 	if len(rows) != 6 {
 		t.Fatalf("%d rows", len(rows))
 	}

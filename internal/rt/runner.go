@@ -13,25 +13,11 @@ import (
 	"visa/internal/simple"
 )
 
-type procKind int
-
-const (
-	procSimpleFixed procKind = iota
-	procComplex
-)
-
-func (k procKind) String() string {
-	if k == procComplex {
-		return "complex"
-	}
-	return "simple-fixed"
-}
-
 // procSim bundles one processor's functional machine, cache hierarchy, and
 // timing pipeline. Cache and predictor state persists across task instances
 // (as on real hardware); Flush injects the Figure 4 perturbation.
 type procSim struct {
-	kind    procKind
+	kind    Proc
 	prog    *isa.Program
 	machine *exec.Machine
 	ic, dc  *cache.Cache
@@ -40,7 +26,7 @@ type procSim struct {
 	cx      *ooo.Pipeline
 }
 
-func newProcSim(prog *isa.Program, kind procKind, fMHz int) *procSim {
+func newProcSim(prog *isa.Program, kind Proc, fMHz int) *procSim {
 	ps := &procSim{
 		kind:    kind,
 		prog:    prog,
@@ -49,7 +35,7 @@ func newProcSim(prog *isa.Program, kind procKind, fMHz int) *procSim {
 		dc:      cache.New(cache.VISAL1),
 		bus:     memsys.NewBus(memsys.Default, fMHz),
 	}
-	if kind == procComplex {
+	if kind == ProcComplex {
 		ps.cx = ooo.New(ooo.Config{}, ps.ic, ps.dc, ps.bus)
 	} else {
 		ps.sp = simple.New(ps.ic, ps.dc, ps.bus)
@@ -256,13 +242,15 @@ func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32, 
 }
 
 // RunProcessor executes the full periodic experiment for one processor.
-func RunProcessor(s *Setup, complexProc bool, cfg Config) (*ProcResult, error) {
-	kind := procSimpleFixed
+func RunProcessor(s *Setup, proc Proc, cfg Config) (*ProcResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	kind := proc
 	specMode := core.SpecConventional
 	profile := power.SimpleFixedProfile
 	table := s.Table
-	if complexProc {
-		kind = procComplex
+	if proc == ProcComplex {
 		specMode = core.SpecVISA
 		profile = power.ComplexProfile
 	} else if cfg.FreqAdvantage > 1 {
@@ -330,7 +318,7 @@ func RunProcessor(s *Setup, complexProc bool, cfg Config) (*ProcResult, error) {
 		usedNs := res.timeNs
 		if res.missed {
 			out.MissedTasks++
-			if complexProc {
+			if proc == ProcComplex {
 				out.SimpleModeTasks++
 			}
 		}

@@ -79,6 +79,9 @@ func (bg *bgThread) step() (exec.DynInst, error) {
 // computes the conventional-concurrency baseline (background work in the
 // slack only).
 func RunSMT(s *Setup, cfg Config, bgProg *isa.Program) (*SMTResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	deadline := s.Deadline(cfg.Tight)
 	params := core.Params{DeadlineNs: deadline, OvhdNs: OvhdNs}
 	// SMT spends slack on throughput, not DVS: pin the maximum operating
@@ -93,7 +96,7 @@ func RunSMT(s *Setup, cfg Config, bgProg *isa.Program) (*SMTResult, error) {
 	n := cfg.instances()
 	res := &SMTResult{Instances: n}
 
-	ps := newProcSim(s.Prog, procComplex, fs.FMHz)
+	ps := newProcSim(s.Prog, ProcComplex, fs.FMHz)
 	bg := newBGThread(bgProg)
 	flushAt := flushSchedule(n, cfg.FlushTasks, 2*ReevalEvery)
 
@@ -183,7 +186,7 @@ func RunSMT(s *Setup, cfg Config, bgProg *isa.Program) (*SMTResult, error) {
 
 	// Conventional-concurrency baseline: same periods, background work only
 	// in the slack after the hard task completes (no SMT).
-	base := newProcSim(s.Prog, procComplex, fs.FMHz)
+	base := newProcSim(s.Prog, ProcComplex, fs.FMHz)
 	bgBase := newBGThread(bgProg)
 	for i := 0; i < n; i++ {
 		base.machine.Reset()

@@ -81,7 +81,7 @@ func TestSMTIdlesBackgroundOnMiss(t *testing.T) {
 	// Whether or not the injection found a miss at this scale, the idling
 	// mechanism itself must hold: in simple mode, feeding a secondary
 	// thread is a hardware protocol violation.
-	ps := newProcSim(s.Prog, procComplex, 1000)
+	ps := newProcSim(s.Prog, ProcComplex, 1000)
 	ps.cx.SwitchToSimple(0)
 	defer func() {
 		if recover() == nil {
@@ -107,13 +107,13 @@ func TestSMTThreadIsolation(t *testing.T) {
 	// the RT task's cycle count may grow (shared bandwidth) but must stay
 	// well under 2x — catastrophic growth would indicate cross-thread
 	// dependence leakage.
-	alone := newProcSim(s.Prog, procComplex, 1000)
+	alone := newProcSim(s.Prog, ProcComplex, 1000)
 	aloneCycles, err := alone.profileNoReset()
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	smt := newProcSim(s.Prog, procComplex, 1000)
+	smt := newProcSim(s.Prog, ProcComplex, 1000)
 	bg := newBGThread(smtBackground(t))
 	var last int64
 	for {
