@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier2 tier-race vet fmt-check race test bench-engine clean
+.PHONY: all build tier1 tier2 tier-race tier-fault vet fmt-check race test bench-engine clean
 
 all: build
 
@@ -32,6 +32,14 @@ race:
 # timeout.
 tier-race:
 	$(GO) test -race -timeout 30m ./internal/rt/... ./internal/obs/...
+
+# Tier fault: the fault-injection subsystem's gate — the fault package's
+# unit tests and fuzz seeds, the watchdog boundary tests, the engine
+# crash-proofing tests, and the full safety campaign (every fault kind
+# across all six benchmarks on both processors).
+tier-fault:
+	$(GO) test ./internal/fault/...
+	$(GO) test -run 'TestWatchdog|TestEngine|TestSafety|FuzzFaultSpec' ./internal/rt/...
 
 # Records the serial-vs-parallel wall-clock of the full evaluation
 # (`experiments -all -n 20` equivalent; see bench_test.go).

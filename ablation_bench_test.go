@@ -32,13 +32,13 @@ func BenchmarkAblationWindowSize(b *testing.B) {
 		{"rob128-paper", ooo.Config{}},
 		{"rob256", ooo.Config{ROBSize: 256, IQSize: 128}},
 	}
-	prog := clab.ByName("mm").MustProgram()
+	prog := mustProgram(b, clab.ByName("mm"))
 	for _, c := range cfgs {
 		b.Run(c.name, func(b *testing.B) {
 			var cycles int64
 			var insts int64
 			for i := 0; i < b.N; i++ {
-				p := ooo.New(c.c, cache.New(cache.VISAL1), cache.New(cache.VISAL1),
+				p := ooo.New(c.c, cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1),
 					memsys.NewBus(memsys.Default, 1000))
 				m := exec.New(prog)
 				for {
@@ -62,7 +62,7 @@ func BenchmarkAblationWindowSize(b *testing.B) {
 // BenchmarkAblationSnippetCost sweeps the MARK snippet cost in the WCET
 // bound: the per-sub-task instrumentation the paper charges (§5.2).
 func BenchmarkAblationSnippetCost(b *testing.B) {
-	prog := clab.ByName("cnt").MustProgram()
+	prog := mustProgram(b, clab.ByName("cnt"))
 	for _, snip := range []int64{0, 12, 48} {
 		b.Run(fmt.Sprintf("snippet%d", snip), func(b *testing.B) {
 			var total int64

@@ -13,6 +13,7 @@ import (
 	"visa/internal/cache"
 	"visa/internal/clab"
 	"visa/internal/exec"
+	"visa/internal/isa"
 	"visa/internal/memsys"
 	"visa/internal/obs"
 	"visa/internal/ooo"
@@ -23,6 +24,16 @@ import (
 
 const benchInstances = 30
 
+// mustProgram compiles the benchmark, failing the benchmark run on error.
+func mustProgram(tb testing.TB, b *clab.Benchmark) *isa.Program {
+	tb.Helper()
+	prog, err := b.Program()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return prog
+}
+
 // BenchmarkTable3 regenerates the static-analysis/actual-time summary
 // (paper Table 3) and reports the key ratios.
 func BenchmarkTable3(b *testing.B) {
@@ -30,6 +41,9 @@ func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rep, err := (&rt.Engine{Workers: 1}).Run(rt.Table3Plan(clab.All()))
 		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
 			b.Fatal(err)
 		}
 		rows = rep.Table3Rows()
@@ -51,6 +65,9 @@ func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rep, err := (&rt.Engine{Workers: 1}).Run(rt.Figure2Plan(clab.All(), benchInstances))
 		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
 			b.Fatal(err)
 		}
 		rows = rep.SavingsRows()
@@ -79,6 +96,9 @@ func BenchmarkFigure3(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		if err := rep.Err(); err != nil {
+			b.Fatal(err)
+		}
 		rows = rep.SavingsRows()
 	}
 	var sum float64
@@ -96,6 +116,9 @@ func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rep, err := (&rt.Engine{Workers: 1}).Run(rt.Figure4Plan(clab.All(), benchInstances))
 		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
 			b.Fatal(err)
 		}
 		rows = rep.SavingsRows()
@@ -161,7 +184,11 @@ func benchmarkExperimentsAll(b *testing.B, workers int) {
 			rt.Figure4Plan(all, n),
 		} {
 			eng := rt.Engine{Workers: workers}
-			if _, err := eng.Run(plan); err != nil {
+			rep, err := eng.Run(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rep.Err(); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -174,7 +201,7 @@ func BenchmarkExperimentsAllParallel(b *testing.B) { benchmarkExperimentsAll(b, 
 // feedBenchmark drives one functional execution of a benchmark through a
 // pipeline feeder and returns the dynamic instruction count.
 func feedBenchmark(b *testing.B, name string, feed func(*exec.DynInst) int64) int64 {
-	prog := clab.ByName(name).MustProgram()
+	prog := mustProgram(b, clab.ByName(name))
 	m := exec.New(prog)
 	for {
 		d, ok, err := m.Step()
@@ -190,7 +217,7 @@ func feedBenchmark(b *testing.B, name string, feed func(*exec.DynInst) int64) in
 
 // BenchmarkFunctionalExecutor measures raw architectural simulation speed.
 func BenchmarkFunctionalExecutor(b *testing.B) {
-	prog := clab.ByName("mm").MustProgram()
+	prog := mustProgram(b, clab.ByName("mm"))
 	m := exec.New(prog)
 	var insts int64
 	b.ResetTimer()
@@ -207,7 +234,7 @@ func BenchmarkFunctionalExecutor(b *testing.B) {
 
 // BenchmarkSimplePipeline measures the VISA timing model's throughput.
 func BenchmarkSimplePipeline(b *testing.B) {
-	ic, dc := cache.New(cache.VISAL1), cache.New(cache.VISAL1)
+	ic, dc := cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1)
 	p := simple.New(ic, dc, memsys.NewBus(memsys.Default, 1000))
 	var insts int64
 	b.ResetTimer()
@@ -221,7 +248,7 @@ func BenchmarkSimplePipeline(b *testing.B) {
 // BenchmarkComplexPipeline measures the out-of-order timing model's
 // throughput.
 func BenchmarkComplexPipeline(b *testing.B) {
-	ic, dc := cache.New(cache.VISAL1), cache.New(cache.VISAL1)
+	ic, dc := cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1)
 	p := ooo.New(ooo.Config{}, ic, dc, memsys.NewBus(memsys.Default, 1000))
 	var insts int64
 	b.ResetTimer()
@@ -234,7 +261,7 @@ func BenchmarkComplexPipeline(b *testing.B) {
 
 // BenchmarkWCETAnalysis measures one full static analysis pass.
 func BenchmarkWCETAnalysis(b *testing.B) {
-	prog := clab.ByName("adpcm").MustProgram()
+	prog := mustProgram(b, clab.ByName("adpcm"))
 	for i := 0; i < b.N; i++ {
 		an, err := wcet.New(prog)
 		if err != nil {

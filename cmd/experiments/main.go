@@ -9,10 +9,17 @@
 // WCET bounds, and fig{2,3,4}.jsonl carry a kind:"instance" record per task
 // instance plus a kind:"summary" record per processor comparison.
 //
+// -campaign safety runs the fault-injection sweep instead: every fault
+// kind (or the -faults subset) at each -rates intensity across all six
+// benchmarks and both processors, asserting the VISA safety property in
+// every cell ("Table S"). Its metrics stream (safety.jsonl) carries
+// kind:"fault.injected", kind:"watchdog.fired", and kind:"safety" records.
+//
 // Usage:
 //
 //	experiments [-n 200] [-j NumCPU] [-table3] [-fig2] [-fig3] [-fig4]
 //	            [-spec] [-all] [-metrics dir]
+//	experiments -campaign safety [-faults k1,k2] [-rates r1,r2] [-seed s] [-n N]
 package main
 
 import (
@@ -21,9 +28,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"visa/internal/cache"
 	"visa/internal/clab"
+	"visa/internal/fault"
 	"visa/internal/isa"
 	"visa/internal/memsys"
 	"visa/internal/obs"
@@ -41,18 +51,27 @@ func main() {
 	spec := flag.Bool("spec", false, "print the modelled configuration (Table 1, §3.2)")
 	all := flag.Bool("all", false, "run everything")
 	metricsDir := flag.String("metrics", "", "directory for machine-readable metrics (JSONL per experiment)")
+	campaign := flag.String("campaign", "", "run a named campaign instead of the figures (safety)")
+	faults := flag.String("faults", "", "comma-separated fault kinds for -campaign safety (default: all)")
+	rates := flag.String("rates", "", "comma-separated injection rates per 1000 (default: 50,250)")
+	seed := flag.Uint64("seed", 0, "base seed for -campaign safety")
 	flag.Parse()
+	nSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "n" {
+			nSet = true
+		}
+	})
 
-	if !*t3 && !*f2 && !*f3 && !*f4 && !*spec && !*all {
-		*all = true
-	}
 	benches := clab.All()
 	if *metricsDir != "" {
 		check(os.MkdirAll(*metricsDir, 0o755))
 	}
 
 	// run executes one plan on the worker pool, with metrics (when enabled)
-	// merged in plan order into dir/name.
+	// merged in plan order into dir/name. The report is printed even when
+	// jobs failed — the failure appendix names them — and then the first
+	// failure (in plan order) exits nonzero.
 	run := func(plan *rt.Plan, name string) {
 		sink, done := metricsSink(*metricsDir, name)
 		eng := &rt.Engine{Workers: *j, Sink: sink}
@@ -60,8 +79,31 @@ func main() {
 		check(err)
 		check(done())
 		fmt.Println(rep.Text)
+		check(rep.Err())
 	}
 
+	if *campaign != "" {
+		if *campaign != "safety" {
+			check(fmt.Errorf("unknown campaign %q (have: safety)", *campaign))
+		}
+		// The campaign has its own default instance count; -n overrides it.
+		c := rt.SafetyCampaign{Seed: *seed}
+		if nSet {
+			c.Instances = *n
+		}
+		kinds, err := parseKinds(*faults)
+		check(err)
+		c.Kinds = kinds
+		rs, err := parseRates(*rates)
+		check(err)
+		c.Rates = rs
+		run(rt.SafetyCampaignPlan(benches, c), "safety.jsonl")
+		return
+	}
+
+	if !*t3 && !*f2 && !*f3 && !*f4 && !*spec && !*all {
+		*all = true
+	}
 	if *spec || *all {
 		printSpec()
 	}
@@ -77,6 +119,38 @@ func main() {
 	if *f4 || *all {
 		run(rt.Figure4Plan(benches, *n), "fig4.jsonl")
 	}
+}
+
+// parseKinds parses a comma-separated fault-kind list; empty means all.
+func parseKinds(s string) ([]fault.Kind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []fault.Kind
+	for _, name := range strings.Split(s, ",") {
+		k, err := fault.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// parseRates parses a comma-separated rate list; empty means the default.
+func parseRates(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %v", f, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 // metricsSink opens dir/name as a metrics stream, returning the sink to

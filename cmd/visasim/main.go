@@ -36,6 +36,7 @@ import (
 	"visa/internal/clab"
 	"visa/internal/core"
 	"visa/internal/exec"
+	"visa/internal/fault"
 	"visa/internal/isa"
 	"visa/internal/memsys"
 	"visa/internal/minic"
@@ -65,18 +66,32 @@ func main() {
 	j := flag.Int("j", runtime.NumCPU(), "parallel workers when simulating multiple benchmarks")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
 	metricsPath := flag.String("metrics", "", "write per-run/per-sub-task metrics (JSONL, or CSV for .csv)")
+	injectFlag := flag.String("inject", "",
+		"seeded fault plan kind:rate[:cycles[:seed]] (kinds: "+kindNames()+")")
 	flag.Parse()
 
 	proc, err := rt.ParseProc(*procFlag)
 	if err != nil {
 		fatal(err)
 	}
+	var spec *fault.Spec
+	if *injectFlag != "" {
+		s, err := fault.ParseSpec(*injectFlag)
+		if err != nil {
+			fatal(err)
+		}
+		spec = &s
+	}
 
 	var jobs []simJob
 	switch {
 	case *bench == "all":
 		for _, b := range clab.All() {
-			jobs = append(jobs, simJob{b.Name, b.MustProgram()})
+			prog, err := b.Program()
+			if err != nil {
+				fatal(err)
+			}
+			jobs = append(jobs, simJob{b.Name, prog})
 		}
 	case *bench != "":
 		for _, name := range strings.Split(*bench, ",") {
@@ -147,7 +162,7 @@ func main() {
 		workers = len(jobs)
 	}
 	if len(jobs) == 1 {
-		outputs[0], errs[0] = runSim(jobs[0], proc, *mhz, *runs, tr, mw)
+		outputs[0], errs[0] = runSim(jobs[0], proc, *mhz, *runs, spec, tr, mw)
 	} else {
 		idx := make(chan int)
 		var wg sync.WaitGroup
@@ -159,7 +174,7 @@ func main() {
 					if mw != nil {
 						bufs[i] = obs.NewRecordBuffer()
 					}
-					outputs[i], errs[i] = runSim(jobs[i], proc, *mhz, *runs, nil, bufs[i])
+					outputs[i], errs[i] = runSim(jobs[i], proc, *mhz, *runs, spec, nil, bufs[i])
 				}
 			}()
 		}
@@ -205,21 +220,41 @@ func main() {
 	}
 }
 
+// kindNames lists the fault kinds for the -inject usage string.
+func kindNames() string {
+	var names []string
+	for _, k := range fault.Kinds() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, " ")
+}
+
 // runSim executes one program on one processor model and returns its
 // human-readable report. Trace events (tr may be nil) and metrics records
 // (mw may be nil) describe the same execution in machine-readable form.
-func runSim(job simJob, proc rt.Proc, mhz, runs int, tr *obs.Tracer, mw *obs.MetricsWriter) (string, error) {
+// When spec is non-nil, a fresh injector (same seed per job, so the output
+// is reproducible and -j independent) perturbs the timing model.
+func runSim(job simJob, proc rt.Proc, mhz, runs int, spec *fault.Spec, tr *obs.Tracer, mw *obs.MetricsWriter) (string, error) {
 	var out strings.Builder
 	procName := proc.String()
 
-	ic := cache.New(cache.VISAL1)
-	dc := cache.New(cache.VISAL1)
+	ic := cache.MustNew(cache.VISAL1)
+	dc := cache.MustNew(cache.VISAL1)
 	bus := memsys.NewBus(memsys.Default, mhz)
 
 	reg := obs.NewRegistry()
 	ic.RegisterObs(reg, "icache")
 	dc.RegisterObs(reg, "dcache")
 	bus.RegisterObs(reg, "bus")
+
+	var inj *fault.Injector
+	if spec != nil {
+		var err error
+		inj, err = fault.New(*spec)
+		if err != nil {
+			return "", err
+		}
+	}
 
 	var feed func(*exec.DynInst) int64
 	var now func() int64
@@ -228,10 +263,17 @@ func runSim(job simJob, proc rt.Proc, mhz, runs int, tr *obs.Tracer, mw *obs.Met
 		p := simple.New(ic, dc, bus)
 		feed, now, rebase = p.Feed, p.Now, p.Rebase
 		p.RegisterObs(reg, "pipe")
+		if inj != nil {
+			p.Inject = inj
+		}
 	} else {
 		p := ooo.New(ooo.Config{}, ic, dc, bus)
 		feed, now, rebase = p.Feed, p.Now, p.Rebase
 		p.RegisterObs(reg, "pipe")
+		if inj != nil {
+			p.Inject = inj
+			p.SimpleEngine().Inject = inj
+		}
 	}
 
 	taskName := job.name
@@ -245,6 +287,10 @@ func runSim(job simJob, proc rt.Proc, mhz, runs int, tr *obs.Tracer, mw *obs.Met
 	for r := 0; r < runs; r++ {
 		m.Reset()
 		rebase(0)
+		if inj.FlushInstance() {
+			ic.Flush()
+			dc.Flush()
+		}
 		icPrev, dcPrev := ic.Stats(), dc.Stats()
 		curSub, subStart := -1, int64(0)
 		closeSub := func(end int64) {
@@ -310,6 +356,16 @@ func runSim(job simJob, proc rt.Proc, mhz, runs int, tr *obs.Tracer, mw *obs.Met
 		ic.Stats().Accesses, ic.Stats().Misses, 100*ic.Stats().MissRate())
 	fmt.Fprintf(&out, "D-cache: %d accesses, %d misses (%.2f%%)\n",
 		dc.Stats().Accesses, dc.Stats().Misses, 100*dc.Stats().MissRate())
+	if inj != nil {
+		fmt.Fprintf(&out, "faults injected: %d (%s)\n", inj.Count(), inj.Spec())
+		mw.Write(obs.Record{
+			obs.F("kind", "fault.injected"),
+			obs.F("task", taskName),
+			obs.F("proc", procName),
+			obs.F("count", inj.Count()),
+			obs.F("fault", inj.Spec().String()),
+		})
+	}
 	if len(m.Out) > 0 {
 		fmt.Fprintf(&out, "out: %v\n", m.Out)
 	}

@@ -82,14 +82,14 @@ func main() {
 }
 
 func timeSimple(prog *isa.Program, mhz int) int64 {
-	p := simple.New(cache.New(cache.VISAL1), cache.New(cache.VISAL1), memsys.NewBus(memsys.Default, mhz))
+	p := simple.New(cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1), memsys.NewBus(memsys.Default, mhz))
 	m := exec.New(prog)
 	mustDrain(m, func(d *exec.DynInst) { p.Feed(d) })
 	return p.Now()
 }
 
 func timeComplex(prog *isa.Program, mhz int) int64 {
-	p := ooo.New(ooo.Config{}, cache.New(cache.VISAL1), cache.New(cache.VISAL1), memsys.NewBus(memsys.Default, mhz))
+	p := ooo.New(ooo.Config{}, cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1), memsys.NewBus(memsys.Default, mhz))
 	m := exec.New(prog)
 	mustDrain(m, func(d *exec.DynInst) { p.Feed(d) })
 	return p.Now()
@@ -104,10 +104,10 @@ func backgroundWork(prog *isa.Program, slackNs float64, mhz int, complexCore boo
 	budget := int64(slackNs * float64(mhz) / 1000)
 	var feed func(*exec.DynInst) int64
 	if complexCore {
-		p := ooo.New(ooo.Config{}, cache.New(cache.VISAL1), cache.New(cache.VISAL1), memsys.NewBus(memsys.Default, mhz))
+		p := ooo.New(ooo.Config{}, cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1), memsys.NewBus(memsys.Default, mhz))
 		feed = p.Feed
 	} else {
-		p := simple.New(cache.New(cache.VISAL1), cache.New(cache.VISAL1), memsys.NewBus(memsys.Default, mhz))
+		p := simple.New(cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1), memsys.NewBus(memsys.Default, mhz))
 		feed = p.Feed
 	}
 	m := exec.New(prog)

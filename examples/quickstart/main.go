@@ -94,7 +94,7 @@ func main() {
 	}
 
 	// 4. Execute on the complex out-of-order core with the watchdog armed.
-	ic, dc := cache.New(cache.VISAL1), cache.New(cache.VISAL1)
+	ic, dc := cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1)
 	bus := memsys.NewBus(memsys.Default, plan.Spec.FMHz)
 	cx := ooo.New(ooo.Config{}, ic, dc, bus)
 	m := exec.New(prog)

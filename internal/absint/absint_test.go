@@ -19,6 +19,15 @@ func buildGraph(t *testing.T, prog *isa.Program) *cfg.Graph {
 	return g
 }
 
+func mustProgram(tb testing.TB, b *clab.Benchmark) *isa.Program {
+	tb.Helper()
+	prog, err := b.Program()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return prog
+}
+
 func compile(t *testing.T, src string) *isa.Program {
 	t.Helper()
 	prog, err := minic.Compile(t.Name(), src)
@@ -224,7 +233,7 @@ void main() {
 func TestClabBenchmarks(t *testing.T) {
 	progress := 0
 	for _, b := range clab.All() {
-		prog := b.MustProgram()
+		prog := mustProgram(t, b)
 		g := buildGraph(t, prog)
 		rep := Analyze(g)
 		derived := 0

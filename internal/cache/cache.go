@@ -81,11 +81,12 @@ type Cache struct {
 	stats     Stats
 }
 
-// New builds a cache; it panics on an invalid geometry (configurations are
-// compile-time constants in this system).
-func New(cfg Config) *Cache {
+// New builds a cache, rejecting invalid geometries with an error so that
+// callers constructing configurations at run time (sweeps, config files)
+// can report them instead of crashing.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	c := &Cache{cfg: cfg, setMask: uint32(cfg.Sets() - 1)}
 	for b := cfg.BlockBytes; b > 1; b >>= 1 {
@@ -94,6 +95,17 @@ func New(cfg Config) *Cache {
 	c.sets = make([][]line, cfg.Sets())
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	return c, nil
+}
+
+// MustNew is New panicking on error, for the compile-time-constant
+// geometries (VISAL1 and test fixtures) where a bad config is a programming
+// error, not an input.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func TestGeometry(t *testing.T) {
-	c := New(VISAL1)
+	c := MustNew(VISAL1)
 	if got := VISAL1.Sets(); got != 256 {
 		t.Errorf("VISA L1 sets = %d, want 256", got)
 	}
@@ -18,17 +18,37 @@ func TestGeometry(t *testing.T) {
 	}
 }
 
-func TestBadGeometryPanics(t *testing.T) {
+// TestBadGeometryRejected covers every validation branch: New reports the
+// defect as an error and MustNew turns the same defect into a panic.
+func TestBadGeometryRejected(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Assoc: 4, BlockBytes: 64},     // non-positive size
+		{SizeBytes: 1024, Assoc: 0, BlockBytes: 64},  // non-positive assoc
+		{SizeBytes: 1024, Assoc: 2, BlockBytes: 0},   // non-positive block
+		{SizeBytes: 1000, Assoc: 3, BlockBytes: 48},  // size not divisible
+		{SizeBytes: 2304, Assoc: 2, BlockBytes: 64},  // set count not 2^k (18 sets)
+		{SizeBytes: 20736, Assoc: 2, BlockBytes: 81}, // block not 2^k
+	}
+	for _, cfg := range bad {
+		c, err := New(cfg)
+		if err == nil || c != nil {
+			t.Errorf("New(%+v) accepted an invalid geometry", cfg)
+		}
+	}
+	c, err := New(VISAL1)
+	if err != nil || c == nil {
+		t.Fatalf("New(VISAL1) = %v, %v", c, err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("invalid geometry did not panic")
+			t.Error("MustNew did not panic on an invalid geometry")
 		}
 	}()
-	New(Config{SizeBytes: 1000, Assoc: 3, BlockBytes: 48})
+	MustNew(Config{SizeBytes: 1000, Assoc: 3, BlockBytes: 48})
 }
 
 func TestHitAfterMiss(t *testing.T) {
-	c := New(Config{SizeBytes: 1024, Assoc: 2, BlockBytes: 64})
+	c := MustNew(Config{SizeBytes: 1024, Assoc: 2, BlockBytes: 64})
 	if c.Access(0) {
 		t.Error("cold access hit")
 	}
@@ -49,7 +69,7 @@ func TestHitAfterMiss(t *testing.T) {
 
 func TestLRUReplacement(t *testing.T) {
 	// 2-way, 8 sets of 64B: addresses 0, 512, 1024 map to set 0.
-	c := New(Config{SizeBytes: 1024, Assoc: 2, BlockBytes: 64})
+	c := MustNew(Config{SizeBytes: 1024, Assoc: 2, BlockBytes: 64})
 	c.Access(0)
 	c.Access(512)
 	c.Access(0)    // 0 now MRU
@@ -66,7 +86,7 @@ func TestLRUReplacement(t *testing.T) {
 }
 
 func TestFlush(t *testing.T) {
-	c := New(VISAL1)
+	c := MustNew(VISAL1)
 	c.Access(0)
 	c.Access(4096)
 	c.Flush()
@@ -85,7 +105,7 @@ func TestWorkingSetFitsProperty(t *testing.T) {
 	setStride := uint32(cfg.Sets() * cfg.BlockBytes)
 	f := func(seed int64, set uint8, n uint8) bool {
 		r := rand.New(rand.NewSource(seed))
-		c := New(cfg)
+		c := MustNew(cfg)
 		k := int(n)%cfg.Assoc + 1
 		base := uint32(int(set)%cfg.Sets()) * uint32(cfg.BlockBytes)
 		blocks := make([]uint32, k)
@@ -120,7 +140,7 @@ func TestDeterminismProperty(t *testing.T) {
 			seq[i] = uint32(r.Intn(64)) * 32
 		}
 		run := func() Stats {
-			c := New(cfg)
+			c := MustNew(cfg)
 			for _, a := range seq {
 				c.Access(a)
 			}
@@ -137,7 +157,7 @@ func TestDeterminismProperty(t *testing.T) {
 // TestStatsDelta: interval accounting via snapshot/delta must equal manual
 // subtraction, and the delta's miss rate is the interval's own.
 func TestStatsDelta(t *testing.T) {
-	c := New(Config{SizeBytes: 2048, Assoc: 2, BlockBytes: 32})
+	c := MustNew(Config{SizeBytes: 2048, Assoc: 2, BlockBytes: 32})
 	for i := 0; i < 100; i++ {
 		c.Access(uint32(i) * 32)
 	}
@@ -163,7 +183,7 @@ func TestStatsDelta(t *testing.T) {
 // TestRegisterObs: counters registered in the observability registry must
 // track the live cache statistics lazily.
 func TestRegisterObs(t *testing.T) {
-	c := New(Config{SizeBytes: 2048, Assoc: 2, BlockBytes: 32})
+	c := MustNew(Config{SizeBytes: 2048, Assoc: 2, BlockBytes: 32})
 	reg := obs.NewRegistry()
 	c.RegisterObs(reg, "l1d")
 	c.Access(0)

@@ -58,16 +58,6 @@ func (b *Benchmark) Program() (*isa.Program, error) {
 	return b.prog, b.err
 }
 
-// MustProgram is Program panicking on error (the suite is embedded and
-// known to compile; tests cover it).
-func (b *Benchmark) MustProgram() *isa.Program {
-	p, err := b.Program()
-	if err != nil {
-		panic(fmt.Sprintf("clab: compile %s: %v", b.Name, err))
-	}
-	return p
-}
-
 var registry = map[string]*Benchmark{}
 
 func register(b *Benchmark) *Benchmark {

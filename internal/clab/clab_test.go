@@ -8,6 +8,16 @@ import (
 	"visa/internal/isa"
 )
 
+// mustProgram compiles the benchmark, failing the test on error.
+func mustProgram(tb testing.TB, b *Benchmark) *isa.Program {
+	tb.Helper()
+	prog, err := b.Program()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return prog
+}
+
 func TestSuiteComposition(t *testing.T) {
 	all := All()
 	if len(all) != 6 {
@@ -83,7 +93,7 @@ func TestOutputsMatchReference(t *testing.T) {
 	for _, b := range All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			m := exec.New(b.MustProgram())
+			m := exec.New(mustProgram(t, b))
 			if _, err := m.Run(50_000_000); err != nil {
 				t.Fatal(err)
 			}
@@ -115,7 +125,7 @@ func TestOutputsMatchReference(t *testing.T) {
 func TestDynamicSizes(t *testing.T) {
 	sizes := map[string]int64{}
 	for _, b := range All() {
-		m := exec.New(b.MustProgram())
+		m := exec.New(mustProgram(t, b))
 		n, err := m.Run(50_000_000)
 		if err != nil {
 			t.Fatal(err)
@@ -135,7 +145,7 @@ func TestDynamicSizes(t *testing.T) {
 // order in main, which the checkpoint protocol relies on.
 func TestMarksAreSequentialInMain(t *testing.T) {
 	for _, b := range All() {
-		p := b.MustProgram()
+		p := mustProgram(t, b)
 		mainFn, ok := p.FuncByName("main")
 		if !ok {
 			t.Fatalf("%s: no main", b.Name)
@@ -151,7 +161,7 @@ func TestMarksAreSequentialInMain(t *testing.T) {
 func TestDeterministicExecution(t *testing.T) {
 	b := ByName("fft")
 	run := func() []float64 {
-		m := exec.New(b.MustProgram())
+		m := exec.New(mustProgram(t, b))
 		if _, err := m.Run(0); err != nil {
 			t.Fatal(err)
 		}

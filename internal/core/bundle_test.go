@@ -6,12 +6,23 @@ import (
 
 	"visa/internal/clab"
 	"visa/internal/exec"
+	"visa/internal/isa"
 	"visa/internal/wcet"
 )
 
+// mustProgram compiles the benchmark, failing the test on error.
+func mustProgram(tb testing.TB, b *clab.Benchmark) *isa.Program {
+	tb.Helper()
+	prog, err := b.Program()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return prog
+}
+
 func buildBundle(t *testing.T, name string) (*Bundle, []byte) {
 	t.Helper()
-	prog := clab.ByName(name).MustProgram()
+	prog := mustProgram(t, clab.ByName(name))
 	an, err := wcet.New(prog)
 	if err != nil {
 		t.Fatal(err)
@@ -125,8 +136,8 @@ func TestBundleRejectsCorruption(t *testing.T) {
 		}
 	}
 	// Mismatched sub-task counts must be rejected.
-	prog := clab.ByName("cnt").MustProgram()
-	other := clab.ByName("mm").MustProgram()
+	prog := mustProgram(t, clab.ByName("cnt"))
+	other := mustProgram(t, clab.ByName("mm"))
 	an, err := wcet.New(other)
 	if err != nil {
 		t.Fatal(err)

@@ -349,7 +349,7 @@ func TestEstimatorCadence(t *testing.T) {
 // TestBuildWCETTable checks the end-to-end table on a real benchmark:
 // monotone total time in frequency (in the time domain) and 37 points.
 func TestBuildWCETTable(t *testing.T) {
-	prog := clab.ByName("cnt").MustProgram()
+	prog := mustProgram(t, clab.ByName("cnt"))
 	an, err := wcet.New(prog)
 	if err != nil {
 		t.Fatal(err)

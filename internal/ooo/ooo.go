@@ -21,6 +21,8 @@
 package ooo
 
 import (
+	"fmt"
+
 	"visa/internal/bpred"
 	"visa/internal/cache"
 	"visa/internal/exec"
@@ -30,6 +32,40 @@ import (
 	"visa/internal/power"
 	"visa/internal/simple"
 )
+
+// Injector is the fault-injection hook interface of the complex datapath
+// (implemented by fault.Injector). Hooks are consulted only in complex
+// mode: simple mode is the safety anchor and must stay unperturbed by the
+// adversarial kinds. Every hook must be deterministic for a given call
+// sequence, since the model's determinism guarantee passes through it.
+type Injector interface {
+	// FetchStall returns extra cycles to stall the front end before this
+	// instruction's fetch (0 = none).
+	FetchStall() int64
+	// PoisonBranch reports whether to force this conditional branch to
+	// mispredict.
+	PoisonBranch() bool
+	// LoadStall returns extra memory latency for this load (0 = none).
+	LoadStall() int64
+	// DrainStall reports whether to serialize this dispatch behind all
+	// older completions (an injected reorder-buffer drain).
+	DrainStall() bool
+}
+
+// IdledThreadError reports a hardware protocol violation: a non-real-time
+// thread was fed while the pipeline was in simple mode, where the paper
+// idles all threads but the hard real-time task (§1.1). It surfaces as a
+// structured error through the experiment engine instead of crashing the
+// simulation.
+type IdledThreadError struct {
+	Tid   int   // the offending hardware thread
+	Cycle int64 // simple-mode cycle at the violation
+}
+
+func (e *IdledThreadError) Error() string {
+	return fmt.Sprintf("ooo: thread %d fed at cycle %d: non-real-time threads are idled in simple mode",
+		e.Tid, e.Cycle)
+}
 
 // Config sizes the complex core. Zero values take the paper's parameters.
 type Config struct {
@@ -245,6 +281,10 @@ type Pipeline struct {
 	Gshare   *bpred.Gshare
 	Indirect *bpred.Indirect
 
+	// Inject, when non-nil, perturbs complex-mode timing with deterministic
+	// faults (see Injector). Simple mode never consults it.
+	Inject Injector
+
 	mode   Mode
 	simple *simple.Pipeline
 
@@ -454,7 +494,10 @@ func (p *Pipeline) TakeActivity() power.Activity {
 
 // Feed times one dynamic instruction of the hard real-time thread
 // (thread 0) and returns its retire cycle.
-func (p *Pipeline) Feed(d *exec.DynInst) int64 { return p.FeedThread(0, d) }
+func (p *Pipeline) Feed(d *exec.DynInst) int64 {
+	rt, _ := p.FeedThread(0, d) // thread 0 cannot trigger IdledThreadError
+	return rt
+}
 
 // FeedThread times one dynamic instruction of hardware thread tid and
 // returns its retire cycle. Thread 0 is the hard real-time task; other
@@ -463,14 +506,15 @@ func (p *Pipeline) Feed(d *exec.DynInst) int64 { return p.FeedThread(0, d) }
 // ROB/IQ/LSQ capacities, the predictors, and the cache hierarchy; each has
 // its own architectural registers, front-end redirect state, and program
 // order. In simple mode only thread 0 may execute: the paper idles the
-// other threads without context-switching them out (§1.1).
-func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) int64 {
+// other threads without context-switching them out (§1.1); feeding one
+// anyway returns an IdledThreadError.
+func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) (int64, error) {
 	if p.mode == ModeSimple {
 		if tid != 0 {
-			panic("ooo: non-real-time threads are idled in simple mode")
+			return 0, &IdledThreadError{Tid: tid, Cycle: p.simple.Now()}
 		}
 		p.Stats.SimpleModeRetired++
-		return p.simple.Feed(d)
+		return p.simple.Feed(d), nil
 	}
 	t := p.thread(tid)
 	in := d.Inst
@@ -489,6 +533,14 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) int64 {
 		}
 		t.fetchBlock, t.haveBlock = blk, true
 	}
+	if p.Inject != nil {
+		if stall := p.Inject.FetchStall(); stall > 0 {
+			// Injected front-end throttle: the fetch cursor stalls exactly as
+			// on an I-cache fill.
+			p.fetchSlots.reset(ft + stall)
+			ft = p.fetchSlots.take(ft + stall)
+		}
+	}
 	t.lastFetch = ft
 
 	// --- Dispatch: rename, allocate ROB/IQ/LSQ ---
@@ -506,6 +558,13 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) int64 {
 		if e := p.lsqOcc.earliest(); e > dt {
 			dt = e
 			p.Stats.LSQStalls++
+		}
+	}
+	if p.Inject != nil && p.Inject.DrainStall() {
+		// Injected ROB drain: dispatch waits for all older work to complete,
+		// collapsing the out-of-order window for one instruction.
+		if t.maxComplete+1 > dt {
+			dt = t.maxComplete + 1
 		}
 	}
 	dt = p.dispatchSlots.take(dt)
@@ -570,6 +629,16 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) int64 {
 					ct = fill
 				}
 			}
+			if p.Inject != nil {
+				if stall := p.Inject.LoadStall(); stall > 0 {
+					// Injected miss latency: the load behaves as if its fill
+					// came back stall cycles later, bus occupancy included.
+					fill := p.Bus.Request(it+regRead) + stall
+					if fill > ct {
+						ct = fill
+					}
+				}
+			}
 		} else {
 			// Stores complete at address generation; the write drains to
 			// the cache after commit and does not stall the pipeline, but
@@ -626,6 +695,9 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) int64 {
 	case isa.ClassBranch:
 		p.act.BPred++
 		pred := p.Gshare.Predict(d.PC)
+		if p.Inject != nil && p.Inject.PoisonBranch() {
+			pred = !d.Taken // poisoned predictor state: forced mispredict
+		}
 		p.Gshare.Update(d.PC, d.Taken)
 		if pred != d.Taken {
 			p.BranchMispredicts++
@@ -643,7 +715,7 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) int64 {
 		// Direct targets come from the BTB merged with the I-cache.
 	}
 	p.seq++
-	return rt
+	return rt, nil
 }
 
 // redirectFetch restarts thread t's fetch at the branch-resolution point.

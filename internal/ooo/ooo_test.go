@@ -13,8 +13,8 @@ import (
 )
 
 func newPipe() *Pipeline {
-	ic := cache.New(cache.VISAL1)
-	dc := cache.New(cache.VISAL1)
+	ic := cache.MustNew(cache.VISAL1)
+	dc := cache.MustNew(cache.VISAL1)
 	bus := memsys.NewBus(memsys.Default, 1000)
 	return New(Config{}, ic, dc, bus)
 }
@@ -38,8 +38,8 @@ func feedAll(t *testing.T, p *Pipeline, prog *isa.Program) []int64 {
 
 func timeSimple(t *testing.T, prog *isa.Program) int64 {
 	t.Helper()
-	ic := cache.New(cache.VISAL1)
-	dc := cache.New(cache.VISAL1)
+	ic := cache.MustNew(cache.VISAL1)
+	dc := cache.MustNew(cache.VISAL1)
 	sp := simple.New(ic, dc, memsys.NewBus(memsys.Default, 1000))
 	m := exec.New(prog)
 	for {
@@ -193,8 +193,8 @@ func TestFlushPredictorsHurts(t *testing.T) {
 
 func TestROBLimitsInFlight(t *testing.T) {
 	// A tiny ROB forces near-scalar behaviour on ILP code.
-	ic := cache.New(cache.VISAL1)
-	dc := cache.New(cache.VISAL1)
+	ic := cache.MustNew(cache.VISAL1)
+	dc := cache.MustNew(cache.VISAL1)
 	small := New(Config{ROBSize: 8, IQSize: 4}, ic, dc, memsys.NewBus(memsys.Default, 1000))
 	prog := ilpLoop(100)
 	rs := feedAll(t, small, prog)
@@ -254,8 +254,8 @@ func TestSimpleModeMatchesVISATiming(t *testing.T) {
 	p.SwitchToSimple(-p.Cfg.SwitchOvhdCycles) // start simple mode at cycle 0
 	retires := feedAll(t, p, prog)
 
-	ic := cache.New(cache.VISAL1)
-	dc := cache.New(cache.VISAL1)
+	ic := cache.MustNew(cache.VISAL1)
+	dc := cache.MustNew(cache.VISAL1)
 	ref := simple.New(ic, dc, memsys.NewBus(memsys.Default, 1000))
 	m := exec.New(prog)
 	i := 0

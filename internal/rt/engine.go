@@ -1,8 +1,14 @@
 package rt
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"visa/internal/obs"
 )
@@ -15,9 +21,15 @@ import (
 // private record buffer (obs.NewRecordBuffer) that the engine replays into
 // Sink in plan order once the jobs finish. Rows are stored at the job's
 // plan index, so renderers see plan order regardless of completion order.
-// And when several jobs fail, the error reported is the first in plan
-// order — with the metrics of the jobs preceding it replayed, exactly as a
-// serial run would have left the stream.
+// And job failures are stored at the job's plan index too, so the report's
+// failure section and Err() are plan-order deterministic.
+//
+// The engine is crash-proof: a panicking job is converted to a PanicError
+// at its index rather than taking the process (and the other workers) down,
+// a transient failure (one wrapped with Transient) is retried up to
+// MaxRetries times with doubling Backoff, and a job exceeding its cycle
+// budget fails with ErrCycleBudget. Failed jobs degrade gracefully — the
+// Report still carries every other job's row and metrics.
 type Engine struct {
 	// Workers is the pool size; <= 0 selects runtime.NumCPU().
 	Workers int
@@ -26,18 +38,63 @@ type Engine struct {
 	// Registry forces serial execution: their timelines/name-spaces are
 	// shared mutable state that only an in-order run keeps deterministic.
 	Sink *obs.Sink
+
+	// MaxRetries bounds re-execution of jobs that fail with a Transient
+	// error. 0 disables retry; permanent errors are never retried.
+	MaxRetries int
+
+	// Backoff is the sleep before the first retry; it doubles on each
+	// subsequent attempt. Zero means retry immediately.
+	Backoff time.Duration
+
+	// CycleBudget, when > 0, is applied as Config.CycleBudget to every
+	// standard job whose config leaves it unset — a per-task watchdog on
+	// the simulation itself, so one runaway job cannot hang the plan.
+	CycleBudget int64
 }
 
+// ErrTransient marks an error as retryable by the engine. Wrap with
+// Transient; test with errors.Is(err, ErrTransient).
+var ErrTransient = errors.New("transient failure")
+
+// Transient wraps err so the engine's retry loop will re-run the job.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrTransient, err)
+}
+
+// PanicError is a job panic captured by the engine's recovery barrier. Its
+// Error string deliberately excludes the stack trace (goroutine ids and
+// addresses vary run to run); the stack is kept as a field for debugging.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // the panicking goroutine's stack at recovery time
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", e.Value) }
+
 // Run validates every job, executes the plan, merges results in plan
-// order, and renders the report text.
+// order, and renders the report text. Configuration errors are hard
+// failures (nil Report); execution failures — panics, budget overruns,
+// exhausted retries — degrade gracefully into Report.Errors.
 func (e *Engine) Run(p *Plan) (*Report, error) {
-	for i := range p.Jobs {
+	jobs := make([]Job, len(p.Jobs))
+	copy(jobs, p.Jobs)
+	for i := range jobs {
+		if jobs[i].Run != nil {
+			continue // custom jobs own their inputs
+		}
+		if e.CycleBudget > 0 && jobs[i].Config.CycleBudget == 0 {
+			jobs[i].Config.CycleBudget = e.CycleBudget
+		}
 		// Validate against the engine's sink: the per-job sink the engine
 		// injects has metrics attached exactly when the engine's does.
-		cfg := p.Jobs[i].Config
+		cfg := jobs[i].Config
 		cfg.Obs = e.sink()
 		if err := cfg.Validate(); err != nil {
-			return nil, errf("rt: plan %s job %d (%s): %v", p.Name, i, p.Jobs[i].Bench.Name, err)
+			return nil, errf("rt: plan %s job %d (%s): %v", p.Name, i, jobs[i].name(), err)
 		}
 	}
 
@@ -48,16 +105,16 @@ func (e *Engine) Run(p *Plan) (*Report, error) {
 	if e.sink().T() != nil || e.sink().R() != nil {
 		workers = 1
 	}
-	if workers > len(p.Jobs) {
-		workers = len(p.Jobs)
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
 	if workers < 1 {
 		workers = 1
 	}
 
-	results := make([]JobResult, len(p.Jobs))
-	errs := make([]error, len(p.Jobs))
-	bufs := make([]*obs.MetricsWriter, len(p.Jobs))
+	results := make([]JobResult, len(jobs))
+	errs := make([]error, len(jobs))
+	bufs := make([]*obs.MetricsWriter, len(jobs))
 	metricsOn := e.sink().M() != nil
 
 	idx := make(chan int)
@@ -67,43 +124,95 @@ func (e *Engine) Run(p *Plan) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				sink := &obs.Sink{}
-				if metricsOn {
-					bufs[i] = obs.NewRecordBuffer()
-					sink.Metrics = bufs[i]
-				}
-				if workers == 1 {
-					// Serial runs may share the engine's tracer and
-					// counter registry directly: jobs arrive in order.
-					sink.Trace = e.sink().T()
-					sink.Registry = e.sink().R()
-				}
-				results[i], errs[i] = runJob(p.Jobs[i], sink)
+				results[i], bufs[i], errs[i] = e.runWithRetry(jobs[i], workers == 1, metricsOn)
 			}
 		}()
 	}
-	for i := range p.Jobs {
+	for i := range jobs {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
 
-	// Deterministic merge: replay each job's records in plan order; a
-	// failed job contributes whatever it wrote before failing (as in a
-	// serial run) and ends the stream.
+	// Deterministic merge: replay every job's records in plan order. A
+	// failed job contributes whatever it wrote before failing, and the
+	// jobs after it still contribute in full (graceful degradation).
 	mw := e.sink().M()
-	for i := range p.Jobs {
+	failed := 0
+	for i := range jobs {
 		bufs[i].Replay(mw)
 		if errs[i] != nil {
-			return nil, errs[i]
+			failed++
 		}
 	}
 
-	rep := &Report{Plan: p, Results: results}
+	rep := &Report{Plan: p, Results: results, Errors: errs, Failed: failed}
 	if p.Render != nil {
 		rep.Text = p.Render(rep)
 	}
+	if failed > 0 {
+		rep.Text += failureSection(p, errs, failed)
+	}
 	return rep, nil
+}
+
+// runWithRetry executes one job under the panic barrier, retrying
+// transient failures with doubling backoff. Each attempt writes into a
+// fresh record buffer so a retried job's metrics appear exactly once.
+func (e *Engine) runWithRetry(job Job, serial, metricsOn bool) (JobResult, *obs.MetricsWriter, error) {
+	backoff := e.Backoff
+	for attempt := 0; ; attempt++ {
+		sink := &obs.Sink{}
+		var buf *obs.MetricsWriter
+		if metricsOn {
+			buf = obs.NewRecordBuffer()
+			sink.Metrics = buf
+		}
+		if serial {
+			// Serial runs may share the engine's tracer and counter
+			// registry directly: jobs arrive in order.
+			sink.Trace = e.sink().T()
+			sink.Registry = e.sink().R()
+		}
+		res, err := safeRun(job, sink)
+		if err == nil || !errors.Is(err, ErrTransient) || attempt >= e.MaxRetries {
+			return res, buf, err
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// safeRun is the crash barrier: a panic inside the job becomes a
+// PanicError return instead of unwinding through the worker pool.
+func safeRun(job Job, sink *obs.Sink) (res JobResult, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = JobResult{}
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return runJob(job, sink)
+}
+
+// failureSection renders the deterministic failed-jobs appendix of a
+// degraded report.
+func failureSection(p *Plan, errs []error, failed int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nFAILED JOBS (%d/%d):\n", failed, len(errs))
+	idxs := make([]int, 0, failed)
+	for i, err := range errs {
+		if err != nil {
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		fmt.Fprintf(&b, "  job %d (%s): %v\n", i, p.Jobs[i].name(), errs[i])
+	}
+	return b.String()
 }
 
 // sink returns the engine's sink, which may be nil (instrumentation off).
@@ -111,6 +220,9 @@ func (e *Engine) sink() *obs.Sink { return e.Sink }
 
 // runJob executes one job against the given (per-job) sink.
 func runJob(job Job, sink *obs.Sink) (JobResult, error) {
+	if job.Run != nil {
+		return job.Run(sink)
+	}
 	switch job.Kind {
 	case JobTable3:
 		row, err := table3Row(job.Bench, sink)
@@ -118,6 +230,14 @@ func runJob(job Job, sink *obs.Sink) (JobResult, error) {
 			return JobResult{}, err
 		}
 		return JobResult{Table3: &row}, nil
+	case JobSafety:
+		cfg := job.Config
+		cfg.Obs = sink
+		row, err := runSafetyJob(job.Bench, cfg)
+		if err != nil {
+			return JobResult{}, err
+		}
+		return JobResult{Safety: row}, nil
 	default:
 		cfg := job.Config
 		cfg.Obs = sink

@@ -30,6 +30,9 @@ func runAllPlans(t *testing.T, workers, instances int) (string, string) {
 		if err != nil {
 			t.Fatalf("plan %s (j=%d): %v", plan.Name, workers, err)
 		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("plan %s (j=%d): job failed: %v", plan.Name, workers, err)
+		}
 		if err := sink.Metrics.Close(); err != nil {
 			t.Fatalf("plan %s (j=%d): metrics: %v", plan.Name, workers, err)
 		}
@@ -66,6 +69,9 @@ func TestEngineDefaultWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
 	if len(rep.SavingsRows()) != 2 {
 		t.Errorf("%d rows, want 2", len(rep.SavingsRows()))
 	}
@@ -82,6 +88,9 @@ func TestEngineSharedSinkSerializes(t *testing.T) {
 	rep, err := (&Engine{Workers: 8, Sink: sink}).Run(
 		Figure4Plan([]*clab.Benchmark{clab.ByName("cnt")}, 10))
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.SavingsRows()) != 4 {

@@ -88,6 +88,8 @@ func (o *instanceObs) petMispredict(k int, nowCyc int64) {
 	if o == nil {
 		return
 	}
+	o.tr.Instant(o.pid, tidMode, "visa", "watchdog.fired", o.nsAt(nowCyc),
+		obs.A("instance", o.idx), obs.A("sub_task", k), obs.A("recovery", "EQ2"))
 	o.tr.Instant(o.pid, tidMode, "visa", "pet-mispredict", o.nsAt(nowCyc),
 		obs.A("instance", o.idx), obs.A("sub_task", k))
 	o.tr.Counter(o.pid, "watchdog margin", o.nsAt(nowCyc), obs.A("cycles", 0))

@@ -173,6 +173,9 @@ func TestTable3Records(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
 	rows := rep.Table3Rows()
 	if err := sink.Metrics.Close(); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,9 @@
 package rt
 
-import "visa/internal/clab"
+import (
+	"visa/internal/clab"
+	"visa/internal/obs"
+)
 
 // JobKind selects what one job computes.
 type JobKind int
@@ -12,6 +15,10 @@ const (
 	// JobTable3 computes the benchmark's static-analysis/actual-time
 	// summary and yields a Table3Row.
 	JobTable3
+	// JobSafety runs both processors under fault injection and yields a
+	// SafetyRow asserting the VISA safety property held (the safety
+	// campaign's unit of work).
+	JobSafety
 )
 
 // Job is one independently runnable unit of an experiment plan: one
@@ -23,12 +30,26 @@ type Job struct {
 	Bench  *clab.Benchmark
 	Kind   JobKind
 	Config Config
+
+	// Run, when non-nil, replaces the Kind dispatch entirely: the engine
+	// calls it with the per-job sink and stores whatever it returns.
+	// Custom jobs skip config validation — they own their inputs.
+	Run func(sink *obs.Sink) (JobResult, error)
+}
+
+// name labels the job in errors and failure reports; nil-safe for custom
+// jobs that carry no benchmark.
+func (j *Job) name() string {
+	if j.Bench != nil {
+		return j.Bench.Name
+	}
+	return "custom"
 }
 
 // Plan is a named, ordered experiment: the jobs to run and how to render
 // their rows. The plan constructors (Table3Plan, Figure2Plan, Figure3Plan,
-// Figure4Plan) reproduce the paper's evaluation; custom plans compose the
-// same pieces for new sweeps.
+// Figure4Plan, SafetyCampaignPlan) reproduce the paper's evaluation plus
+// the fault campaign; custom plans compose the same pieces for new sweeps.
 type Plan struct {
 	Name string
 	Jobs []Job
@@ -45,15 +66,36 @@ type Plan struct {
 type JobResult struct {
 	Savings *SavingsRow
 	Table3  *Table3Row
+	Safety  *SafetyRow
 }
 
 // Report is a finished plan: per-job typed rows in plan order plus the
 // rendered text. By the time Engine.Run returns a Report, every job's
 // metrics records have been replayed into the engine's sink in plan order.
+//
+// Job failures degrade gracefully: a failed job leaves a nil JobResult and
+// its error at the same index in Errors, while every other job's row and
+// metrics survive. Callers that need all-or-nothing semantics check Err().
 type Report struct {
 	Plan    *Plan
 	Results []JobResult
 	Text    string
+
+	// Errors is index-aligned with Results: Errors[i] is non-nil exactly
+	// when job i failed. Failed counts the non-nil entries.
+	Errors []error
+	Failed int
+}
+
+// Err returns the first job failure in plan order, wrapped with the plan
+// and job identity, or nil if every job succeeded.
+func (r *Report) Err() error {
+	for i, err := range r.Errors {
+		if err != nil {
+			return errf("rt: plan %s job %d (%s): %w", r.Plan.Name, i, r.Plan.Jobs[i].name(), err)
+		}
+	}
+	return nil
 }
 
 // SavingsRows returns the comparison rows in plan order.
@@ -73,6 +115,17 @@ func (r *Report) Table3Rows() []Table3Row {
 	for _, res := range r.Results {
 		if res.Table3 != nil {
 			out = append(out, *res.Table3)
+		}
+	}
+	return out
+}
+
+// SafetyRows returns the safety-campaign rows in plan order.
+func (r *Report) SafetyRows() []SafetyRow {
+	var out []SafetyRow
+	for _, res := range r.Results {
+		if res.Safety != nil {
+			out = append(out, *res.Safety)
 		}
 	}
 	return out

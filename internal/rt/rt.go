@@ -14,6 +14,7 @@ import (
 	"visa/internal/cache"
 	"visa/internal/clab"
 	"visa/internal/core"
+	"visa/internal/fault"
 	"visa/internal/isa"
 	"visa/internal/obs"
 	"visa/internal/power"
@@ -296,6 +297,19 @@ type Config struct {
 	HistogramMiss  float64
 	VaryInputSeeds bool // vary the input seed per instance
 
+	// Fault attaches a deterministic fault-injection plan (see
+	// internal/fault). The complex processor receives the full taxonomy;
+	// the simple pipeline only consumes the paranoid-safe kinds, which by
+	// construction cannot violate its WCET bound. Each RunProcessor call
+	// derives a fresh injector from the spec, so both processors and any
+	// worker count see the identical fault stream for a given seed.
+	Fault *fault.Spec
+
+	// CycleBudget, when > 0, aborts any task instance whose pipeline time
+	// exceeds this many cycles with an error wrapping ErrCycleBudget — a
+	// per-job timeout in the simulated-time domain for runaway simulations.
+	CycleBudget int64
+
 	// Obs attaches the instrumentation sink (tracer, metrics writer,
 	// counter registry). A nil sink — the default — disables all three
 	// surfaces at no cost. Label prefixes this run's trace lanes, metric
@@ -324,6 +338,14 @@ func (c Config) Validate() error {
 	}
 	if c.Obs.M() != nil && c.Label == "" {
 		return errf("rt: config: empty Label with metrics attached (records would be unattributable)")
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Validate(); err != nil {
+			return errf("rt: config: %v", err)
+		}
+	}
+	if c.CycleBudget < 0 {
+		return errf("rt: config: negative CycleBudget (%d)", c.CycleBudget)
 	}
 	return nil
 }
@@ -365,6 +387,15 @@ type ProcResult struct {
 
 	// SimpleModeTasks counts tasks that spent time in simple mode.
 	SimpleModeTasks int
+
+	// FaultsInjected counts faults the Config.Fault plan actually injected.
+	FaultsInjected int64
+
+	// WCETExceedances counts sub-tasks of unswitched simple-fixed instances
+	// whose observed time exceeded the WCET bound at the plan frequency. It
+	// must be zero: the bound is the safety anchor, and the paranoid fault
+	// envelope is constructed so that no injection can breach it.
+	WCETExceedances int
 
 	// Acct exposes the energy accounting for breakdown reports.
 	Acct *power.Accounting

@@ -178,6 +178,9 @@ func TestTable3Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
 	rows := rep.Table3Rows()
 	if len(rows) != 6 {
 		t.Fatalf("%d rows", len(rows))

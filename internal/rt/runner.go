@@ -1,10 +1,13 @@
 package rt
 
 import (
+	"errors"
+
 	"visa/internal/cache"
 	"visa/internal/clab"
 	"visa/internal/core"
 	"visa/internal/exec"
+	"visa/internal/fault"
 	"visa/internal/isa"
 	"visa/internal/memsys"
 	"visa/internal/obs"
@@ -12,6 +15,10 @@ import (
 	"visa/internal/power"
 	"visa/internal/simple"
 )
+
+// ErrCycleBudget marks a task instance aborted by Config.CycleBudget (the
+// simulated-time analogue of a job timeout). Match with errors.Is.
+var ErrCycleBudget = errors.New("task cycle budget exceeded")
 
 // procSim bundles one processor's functional machine, cache hierarchy, and
 // timing pipeline. Cache and predictor state persists across task instances
@@ -24,6 +31,11 @@ type procSim struct {
 	bus     *memsys.Bus
 	sp      *simple.Pipeline
 	cx      *ooo.Pipeline
+
+	// inject is the processor's fault injector (nil when Config.Fault is
+	// unset); budget is Config.CycleBudget (0 = unlimited).
+	inject *fault.Injector
+	budget int64
 }
 
 func newProcSim(prog *isa.Program, kind Proc, fMHz int) *procSim {
@@ -31,8 +43,8 @@ func newProcSim(prog *isa.Program, kind Proc, fMHz int) *procSim {
 		kind:    kind,
 		prog:    prog,
 		machine: exec.New(prog),
-		ic:      cache.New(cache.VISAL1),
-		dc:      cache.New(cache.VISAL1),
+		ic:      cache.MustNew(cache.VISAL1),
+		dc:      cache.MustNew(cache.VISAL1),
 		bus:     memsys.NewBus(memsys.Default, fMHz),
 	}
 	if kind == ProcComplex {
@@ -77,6 +89,21 @@ func (ps *procSim) flush() {
 	ps.dc.Flush()
 	if ps.cx != nil {
 		ps.cx.FlushPredictors()
+	}
+}
+
+// attachInjector wires a fault plan into the datapath. The complex core
+// consults the full taxonomy in complex mode and only the clamped paranoid
+// jitter once it has switched to simple mode; the explicitly-safe pipeline
+// consumes nothing but the paranoid hooks, so adversarial kinds cannot
+// touch the safety anchor.
+func (ps *procSim) attachInjector(inj *fault.Injector) {
+	ps.inject = inj
+	if ps.cx != nil {
+		ps.cx.Inject = inj
+		ps.cx.SimpleEngine().Inject = inj
+	} else {
+		ps.sp.Inject = inj
 	}
 }
 
@@ -193,6 +220,9 @@ func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32, 
 			aetBoundary = now
 		}
 		rt := ps.feed(&d)
+		if ps.budget > 0 && rt > ps.budget {
+			return res, errf("rt: %w: %d cycles > budget %d", ErrCycleBudget, rt, ps.budget)
+		}
 		if !switched && !pendingSwitch && wd.Expired(rt) {
 			wd.Disarm()
 			if ps.cx != nil {
@@ -280,6 +310,14 @@ func RunProcessor(s *Setup, proc Proc, cfg Config) (*ProcResult, error) {
 
 	acct := &power.Accounting{Profile: profile, Standby: cfg.Standby}
 	ps := newProcSim(s.Prog, kind, plan.Spec.FMHz)
+	ps.budget = cfg.CycleBudget
+	if cfg.Fault != nil {
+		inj, err := fault.New(*cfg.Fault)
+		if err != nil {
+			return nil, err
+		}
+		ps.attachInjector(inj)
+	}
 
 	tr := cfg.Obs.T()
 	pid := obsLane(tr, cfg.Label, s.Bench.Name, kind.String())
@@ -300,7 +338,7 @@ func RunProcessor(s *Setup, proc Proc, cfg Config) (*ProcResult, error) {
 	out := &ProcResult{Name: kind.String()}
 	for i := 0; i < n; i++ {
 		baseNs := float64(i) * deadline
-		if flushAt[i] {
+		if flushAt[i] || ps.inject.FlushInstance() {
 			ps.flush()
 			tr.Instant(pid, tidMode, "visa", "cache+predictor flush", baseNs,
 				obs.A("instance", i))
@@ -324,6 +362,49 @@ func RunProcessor(s *Setup, proc Proc, cfg Config) (*ProcResult, error) {
 		}
 		if res.timeNs > deadline+1e-6 {
 			out.DeadlineViolations++
+		}
+		if proc == ProcSimpleFixed && !res.missed {
+			// Unswitched instances ran wholly at f_spec, so their observed
+			// sub-task times compare directly against the WCET row at that
+			// point; switched instances mix timing domains and are already
+			// accounted as watchdog-detected overruns. Any exceedance here
+			// means the safety anchor's bound was breached.
+			if pi, perr := table.PointIndex(plan.Spec.FMHz); perr == nil {
+				for k := 0; k < table.NumSubTasks() && k < len(res.aets); k++ {
+					if int64(res.aets[k]) > table.Cycles[pi][k] {
+						out.WCETExceedances++
+					}
+				}
+			}
+		}
+		if injected := ps.inject.Take(); injected > 0 {
+			out.FaultsInjected += injected
+			tr.Instant(pid, tidMode, "fault", "fault.injected", baseNs+res.timeNs,
+				obs.A("instance", i), obs.A("count", injected),
+				obs.A("spec", cfg.Fault.String()))
+			if mw := cfg.Obs.M(); mw != nil {
+				mw.Write(obs.Record{
+					obs.F("kind", "fault.injected"),
+					obs.F("label", cfg.Label),
+					obs.F("bench", s.Bench.Name),
+					obs.F("proc", kind.String()),
+					obs.F("instance", i),
+					obs.F("count", injected),
+					obs.F("fault", cfg.Fault.String()),
+				})
+			}
+		}
+		if res.missed {
+			if mw := cfg.Obs.M(); mw != nil {
+				mw.Write(obs.Record{
+					obs.F("kind", "watchdog.fired"),
+					obs.F("label", cfg.Label),
+					obs.F("bench", s.Bench.Name),
+					obs.F("proc", kind.String()),
+					obs.F("instance", i),
+					obs.F("simple_mode", proc == ProcComplex),
+				})
+			}
 		}
 		replanned := false
 		if est.RecordRun(res.aets) {

@@ -132,7 +132,10 @@ func RunSMT(s *Setup, cfg Config, bgProg *isa.Program) (*SMTResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				bgRetire = ps.cx.FeedThread(1, &d)
+				bgRetire, err = ps.cx.FeedThread(1, &d)
+				if err != nil {
+					return nil, err
+				}
 				if bgRetire <= deadlineCycles {
 					bg.done++
 					res.BGInsts++
@@ -155,7 +158,10 @@ func RunSMT(s *Setup, cfg Config, bgProg *isa.Program) (*SMTResult, error) {
 					wd.Add(ps.cx.Now(), plan.WatchdogAdd[k])
 				}
 			}
-			rt := ps.cx.FeedThread(0, &d)
+			rt, err := ps.cx.FeedThread(0, &d)
+			if err != nil {
+				return nil, err
+			}
 			if wd.Expired(rt) {
 				// Missed checkpoint: simple mode; background thread idled.
 				wd.Disarm()
@@ -205,7 +211,11 @@ func RunSMT(s *Setup, cfg Config, bgProg *isa.Program) (*SMTResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			if base.cx.FeedThread(1, &d) > slackCycles {
+			bgCyc, err := base.cx.FeedThread(1, &d)
+			if err != nil {
+				return nil, err
+			}
+			if bgCyc > slackCycles {
 				break
 			}
 			res.RTOnlyBGInsts++

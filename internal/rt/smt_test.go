@@ -1,11 +1,13 @@
 package rt
 
 import (
+	"errors"
 	"testing"
 
 	"visa/internal/clab"
 	"visa/internal/isa"
 	"visa/internal/minic"
+	"visa/internal/ooo"
 )
 
 // smtBackground is an endless non-real-time kernel for co-scheduling.
@@ -80,19 +82,22 @@ func TestSMTIdlesBackgroundOnMiss(t *testing.T) {
 
 	// Whether or not the injection found a miss at this scale, the idling
 	// mechanism itself must hold: in simple mode, feeding a secondary
-	// thread is a hardware protocol violation.
+	// thread is a hardware protocol violation, reported as a structured
+	// error the engine can attribute to the offending job.
 	ps := newProcSim(s.Prog, ProcComplex, 1000)
 	ps.cx.SwitchToSimple(0)
-	defer func() {
-		if recover() == nil {
-			t.Error("feeding a background thread in simple mode did not panic")
-		}
-	}()
 	d, err := newBGThread(smtBackground(t)).step()
 	if err != nil {
 		t.Fatal(err)
 	}
-	ps.cx.FeedThread(1, &d)
+	_, err = ps.cx.FeedThread(1, &d)
+	var idled *ooo.IdledThreadError
+	if !errors.As(err, &idled) {
+		t.Fatalf("feeding a background thread in simple mode: got %v, want IdledThreadError", err)
+	}
+	if idled.Tid != 1 {
+		t.Errorf("IdledThreadError.Tid = %d, want 1", idled.Tid)
+	}
 }
 
 // TestSMTThreadIsolation: per-thread register state must not leak between
@@ -122,7 +127,9 @@ func TestSMTThreadIsolation(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			smt.cx.FeedThread(1, &d)
+			if _, err := smt.cx.FeedThread(1, &d); err != nil {
+				t.Fatal(err)
+			}
 			continue
 		}
 		d, ok, err := smt.machine.Step()
@@ -132,7 +139,10 @@ func TestSMTThreadIsolation(t *testing.T) {
 		if !ok {
 			break
 		}
-		last = smt.cx.FeedThread(0, &d)
+		last, err = smt.cx.FeedThread(0, &d)
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 	if last > 2*aloneCycles {
 		t.Errorf("RT task took %d cycles with SMT vs %d alone: cross-thread interference too high",

@@ -1,0 +1,147 @@
+package rt
+
+import (
+	"testing"
+
+	"visa/internal/core"
+)
+
+// TestWatchdogBoundaries pins the watchdog's off-by-one behaviour at the
+// exact cycles the recovery protocol depends on: the counter reaching zero
+// *is* the exception (§2.2), so a checkpoint met on the last budgeted cycle
+// must not fire, and one missed by a single cycle must.
+func TestWatchdogBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		// drive replays a scenario and returns the watchdog to inspect.
+		drive   func() *core.Watchdog
+		expired bool // Expired at the scenario's probe cycle
+		fired   bool // latched Fired afterwards
+	}{
+		{
+			name: "hit on last budget cycle",
+			// 100 cycles of budget, probe one cycle before expiry: the
+			// deadline is still in the future, no exception.
+			drive: func() *core.Watchdog {
+				var wd core.Watchdog
+				wd.Arm(100)
+				if wd.Expired(99) {
+					panic("fired early")
+				}
+				return &wd
+			},
+			expired: false,
+			fired:   false,
+		},
+		{
+			name: "missed by exactly one cycle",
+			// The counter reaches zero at cycle 100: probing there is the
+			// one-cycle miss and must raise the exception.
+			drive: func() *core.Watchdog {
+				var wd core.Watchdog
+				wd.Arm(100)
+				wd.Expired(100)
+				return &wd
+			},
+			expired: true,
+			fired:   true,
+		},
+		{
+			name: "boundary add defers expiry",
+			// A checkpoint passed at cycle 90 grants 60 more cycles on top
+			// of the 10 still banked, moving expiry to 160: cycle 159 is
+			// safe, 160 fires.
+			drive: func() *core.Watchdog {
+				var wd core.Watchdog
+				wd.Arm(100)
+				wd.Add(90, 60)
+				if wd.Expired(159) {
+					panic("fired before the extended deadline")
+				}
+				wd.Expired(160)
+				return &wd
+			},
+			expired: true,
+			fired:   true,
+		},
+		{
+			name: "back-to-back misses keep firing",
+			// After a first miss the exception condition persists on every
+			// later probe (the harness masks it with Disarm, not the clock).
+			drive: func() *core.Watchdog {
+				var wd core.Watchdog
+				wd.Arm(50)
+				wd.Expired(50)
+				wd.Expired(51)
+				wd.Expired(52)
+				return &wd
+			},
+			expired: true,
+			fired:   true,
+		},
+		{
+			name: "disarm masks a pending miss",
+			// Disarm after the first miss (the recovery switch): further
+			// probes must not report expiry, but the Fired latch survives
+			// as the record that recovery happened.
+			drive: func() *core.Watchdog {
+				var wd core.Watchdog
+				wd.Arm(50)
+				wd.Expired(50)
+				wd.Disarm()
+				if wd.Expired(51) {
+					panic("expired while disarmed")
+				}
+				return &wd
+			},
+			expired: false,
+			fired:   true,
+		},
+		{
+			name: "zero budget never arms",
+			// A degenerate plan (WatchdogInit <= 0) must not arm at all —
+			// the harness handles it by forcing simple mode instead.
+			drive: func() *core.Watchdog {
+				var wd core.Watchdog
+				wd.Arm(0)
+				return &wd
+			},
+			expired: false,
+			fired:   false,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			wd := c.drive()
+			// Re-probe at a far-future cycle: expired scenarios stay
+			// expired (if still armed), un-expired ones are judged at
+			// their own probe cycle above.
+			if got := wd.Fired; got != c.fired {
+				t.Errorf("Fired = %v, want %v", got, c.fired)
+			}
+			if c.expired && wd.Armed() && !wd.Expired(wd.ExpiryCycle()) {
+				t.Error("expired watchdog no longer reports expiry")
+			}
+			if !c.expired && wd.Armed() && wd.Expired(wd.ExpiryCycle()-1) {
+				t.Error("watchdog fired before its expiry cycle")
+			}
+		})
+	}
+}
+
+// TestWatchdogRemainingAccounting: Remaining must account the autonomous
+// per-cycle decrement between probes (the §5.1 MMIO read path).
+func TestWatchdogRemainingAccounting(t *testing.T) {
+	var wd core.Watchdog
+	wd.Arm(1000)
+	if got := wd.Remaining(250); got != 750 {
+		t.Errorf("Remaining(250) = %d, want 750", got)
+	}
+	wd.Add(250, 500) // boundary at 250 grants 500 more
+	if got := wd.Remaining(250); got != 1250 {
+		t.Errorf("Remaining after Add = %d, want 1250", got)
+	}
+	if got := wd.ExpiryCycle(); got != 1500 {
+		t.Errorf("ExpiryCycle = %d, want 1500", got)
+	}
+}

@@ -53,7 +53,7 @@ func TestRandomProgramProperties(t *testing.T) {
 			}
 		}
 		newPipe := func() *Pipeline {
-			return New(cache.New(cache.VISAL1), cache.New(cache.VISAL1),
+			return New(cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1),
 				memsys.NewBus(memsys.Default, 1000))
 		}
 
@@ -114,7 +114,7 @@ func TestStateJoinIsUpperBound(t *testing.T) {
 		a, b := mk(), mk()
 		j := a.Join(b)
 		finish := func(s State) int64 {
-			p := New(cache.New(cache.VISAL1), cache.New(cache.VISAL1),
+			p := New(cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1),
 				memsys.NewBus(memsys.Default, 1000))
 			p.SetState(s)
 			m := exec.New(prog)

@@ -48,6 +48,19 @@ type Bus interface {
 	Latency() int64
 }
 
+// Injector is the paranoid fault-injection hook of the explicitly-safe
+// pipeline (implemented by fault.Injector). Because this pipeline's timing
+// is the WCET safety anchor, the only legal perturbation is one that cannot
+// exceed the bound: the pipeline clamps whatever MissLatency returns to
+// [0, worst], so an injector can shorten a miss (jitter toward the best
+// case) but never lengthen it past the architectural worst case the static
+// analysis assumed.
+type Injector interface {
+	// MissLatency returns the miss penalty to charge given the worst-case
+	// latency the bound covers. Out-of-range values are clamped.
+	MissLatency(worst int64) int64
+}
+
 // FetchToExec is the number of cycles between fetching an instruction and
 // executing it, fixed by the VISA's 4-cycle branch penalty.
 const FetchToExec = 4
@@ -74,6 +87,10 @@ type Pipeline struct {
 	// simple mode on the complex datapath, where a limited form of renaming
 	// still locates operands in the physical register file (§3.2, §5.2).
 	CountRenames bool
+
+	// Inject, when non-nil, perturbs miss latencies within the clamped
+	// paranoid envelope (see Injector).
+	Inject Injector
 
 	lastFetch int64 // completion cycle of the most recent fetch
 	redirect  int64 // earliest cycle fetch may resume after a control stall
@@ -219,6 +236,25 @@ func max64(a, b int64) int64 {
 	return b
 }
 
+// missPenalty is the cycles a cache miss blocks the pipeline: the bus's
+// worst-case latency, or — under fault injection — the injected value
+// clamped to [0, worst], so injection provably never exceeds what the WCET
+// bound assumed.
+func (p *Pipeline) missPenalty() int64 {
+	worst := p.Bus.Latency()
+	if p.Inject == nil {
+		return worst
+	}
+	lat := p.Inject.MissLatency(worst)
+	if lat < 0 {
+		return 0
+	}
+	if lat > worst {
+		return worst
+	}
+	return lat
+}
+
 // TakeActivity returns and clears the accumulated power activity. The
 // caller invokes it at operating-point changes and task boundaries. The
 // segment cycle count is filled in by the caller, which knows the segment
@@ -243,7 +279,7 @@ func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 	p.act.Fetches++
 	p.act.ICacheAcc++
 	if !p.ICache.Access(isa.InstAddr(d.PC)) {
-		fs += p.Bus.Latency()
+		fs += p.missPenalty()
 	}
 	p.lastFetch = fs
 
@@ -291,7 +327,7 @@ func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 	if in.Op.IsMem() && d.Addr < isa.MMIOBase {
 		p.act.DCacheAcc++
 		if !p.DCache.Access(d.Addr) {
-			memDone += p.Bus.Latency()
+			memDone += p.missPenalty()
 		}
 	}
 

@@ -17,8 +17,8 @@ func timeProgram(t *testing.T, src string) (int64, *Pipeline) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ic := cache.New(cache.VISAL1)
-	dc := cache.New(cache.VISAL1)
+	ic := cache.MustNew(cache.VISAL1)
+	dc := cache.MustNew(cache.VISAL1)
 	bus := memsys.NewBus(memsys.Default, 1000)
 	p := New(ic, dc, bus)
 	m := exec.New(prog)
@@ -235,8 +235,8 @@ a: .word 1
     halt
 .endfunc`)
 	run := func(mhz int) int64 {
-		ic := cache.New(cache.VISAL1)
-		dc := cache.New(cache.VISAL1)
+		ic := cache.MustNew(cache.VISAL1)
+		dc := cache.MustNew(cache.VISAL1)
 		p := New(ic, dc, memsys.NewBus(memsys.Default, mhz))
 		m := exec.New(prog)
 		for {
@@ -288,8 +288,8 @@ func TestRebaseRestartsCleanly(t *testing.T) {
     addi r2, r2, 2
     halt
 .endfunc`)
-	ic := cache.New(cache.VISAL1)
-	dc := cache.New(cache.VISAL1)
+	ic := cache.MustNew(cache.VISAL1)
+	dc := cache.MustNew(cache.VISAL1)
 	p := New(ic, dc, memsys.NewBus(memsys.Default, 1000))
 	run := func() int64 {
 		m := exec.New(prog)

@@ -15,7 +15,7 @@ func TestStaticDCacheSafety(t *testing.T) {
 	for _, b := range clab.All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			prog := b.MustProgram()
+			prog := mustProgram(t, b)
 			an, err := New(prog)
 			if err != nil {
 				t.Fatal(err)
@@ -52,7 +52,7 @@ func TestStaticDCacheSafety(t *testing.T) {
 // TestStaticDCacheVsProfilePad: the static pad is safe but looser than the
 // trace-derived pad (why the paper kept profile padding for tightness).
 func TestStaticDCacheVsProfilePad(t *testing.T) {
-	prog := clab.ByName("adpcm").MustProgram()
+	prog := mustProgram(t, clab.ByName("adpcm"))
 
 	anProfile, err := New(prog)
 	if err != nil {

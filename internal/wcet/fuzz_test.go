@@ -93,8 +93,8 @@ func TestGenerativeWCETSafety(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d: %v\n%s", trial, err, src)
 			}
-			ic := cache.New(cache.VISAL1)
-			dc := cache.New(cache.VISAL1)
+			ic := cache.MustNew(cache.VISAL1)
+			dc := cache.MustNew(cache.VISAL1)
 			sp := simple.New(ic, dc, memsys.NewBus(memsys.Default, mhz))
 			m := exec.New(prog)
 			for {

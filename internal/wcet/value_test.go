@@ -19,7 +19,7 @@ func TestValueAnalysisTightensWCET(t *testing.T) {
 	for _, b := range clab.All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			prog := b.MustProgram()
+			prog := mustProgram(t, b)
 
 			plain, err := New(prog)
 			if err != nil {

@@ -12,13 +12,23 @@ import (
 	"visa/internal/simple"
 )
 
+// mustProgram compiles the benchmark, failing the test on error.
+func mustProgram(tb testing.TB, b *clab.Benchmark) *isa.Program {
+	tb.Helper()
+	prog, err := b.Program()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return prog
+}
+
 // profileSimple runs prog with the given seed on the cold simple-fixed
 // pipeline at fMHz, returning per-sub-task actual cycles and worst-case
 // D-cache miss counts per sub-task.
 func profileSimple(t *testing.T, prog *isa.Program, seed int32, fMHz int) (durations, dMisses []int64, total int64) {
 	t.Helper()
-	ic := cache.New(cache.VISAL1)
-	dc := cache.New(cache.VISAL1)
+	ic := cache.MustNew(cache.VISAL1)
+	dc := cache.MustNew(cache.VISAL1)
 	p := simple.New(ic, dc, memsys.NewBus(memsys.Default, fMHz))
 	m := exec.New(prog)
 	if seed != 0 {
@@ -68,7 +78,7 @@ func TestWCETSafetyOnBenchmarks(t *testing.T) {
 	for _, b := range clab.All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			prog := b.MustProgram()
+			prog := mustProgram(t, b)
 			an, err := New(prog)
 			if err != nil {
 				t.Fatal(err)
@@ -127,7 +137,7 @@ func TestWCETSafetyOnBenchmarks(t *testing.T) {
 // TestWCETMonotoneInFrequency: the miss penalty in cycles grows with
 // frequency, so WCET cycles must be non-decreasing in f.
 func TestWCETMonotoneInFrequency(t *testing.T) {
-	prog := clab.ByName("cnt").MustProgram()
+	prog := mustProgram(t, clab.ByName("cnt"))
 	an, err := New(prog)
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +156,7 @@ func TestWCETMonotoneInFrequency(t *testing.T) {
 }
 
 func TestWCETDeterministic(t *testing.T) {
-	prog := clab.ByName("fft").MustProgram()
+	prog := mustProgram(t, clab.ByName("fft"))
 	run := func() int64 {
 		an, err := New(prog)
 		if err != nil {
@@ -168,7 +178,7 @@ func TestCategorizationAllPersistentForSmallKernels(t *testing.T) {
 	// must classify every instruction first-miss at function scope — the
 	// property behind the paper's tight bounds for cnt/lms/mm.
 	for _, b := range clab.All() {
-		prog := b.MustProgram()
+		prog := mustProgram(t, b)
 		an, err := New(prog)
 		if err != nil {
 			t.Fatal(err)
@@ -291,8 +301,8 @@ void main() {
 		t.Fatal(err)
 	}
 	// Actual with gate=1 (slow path taken every iteration; DIV/REM heavy).
-	ic := cache.New(cache.VISAL1)
-	dc := cache.New(cache.VISAL1)
+	ic := cache.MustNew(cache.VISAL1)
+	dc := cache.MustNew(cache.VISAL1)
 	sp := simple.New(ic, dc, memsys.NewBus(memsys.Default, 1000))
 	m := exec.New(prog)
 	gateAddr := prog.DataLabels["g_gate"]
