@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier2 tier-race tier-fault vet fmt-check race test bench-engine clean
+.PHONY: all build tier1 tier2 tier-race tier-fault tier-conform vet fmt-check race test bench-engine clean
 
 all: build
 
@@ -40,6 +40,15 @@ tier-race:
 tier-fault:
 	$(GO) test ./internal/fault/...
 	$(GO) test -run 'TestWatchdog|TestEngine|TestSafety|FuzzFaultSpec' ./internal/rt/...
+
+# Tier conform: the cross-model conformance gate — the conform package's
+# unit tests and checked-in fuzz corpus, the six-benchmark × 37-point I2
+# property, then the full campaign: 200 seeded random programs plus all
+# benchmarks through exec/simple/OOO-simple-mode/WCET in lockstep. The
+# campaign seed is pinned so the corpus is deterministic.
+tier-conform:
+	$(GO) test ./internal/conform/...
+	$(GO) run ./cmd/experiments -campaign conform -seed 1 -n 200
 
 # Records the serial-vs-parallel wall-clock of the full evaluation
 # (`experiments -all -n 20` equivalent; see bench_test.go).

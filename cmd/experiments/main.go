@@ -15,11 +15,19 @@
 // every cell ("Table S"). Its metrics stream (safety.jsonl) carries
 // kind:"fault.injected", kind:"watchdog.fired", and kind:"safety" records.
 //
+// -campaign conform runs the cross-model conformance oracle: -n seeded
+// random programs (default 200) plus all six benchmarks, each swept
+// through the functional machine, the simple pipeline, the complex core's
+// simple mode, and the WCET analyzer in lockstep, asserting invariants
+// I1-I4 (see internal/conform). A violating program fails its job with a
+// minimized reproducer replayable via `visasim -conform -gen <seed>`.
+//
 // Usage:
 //
 //	experiments [-n 200] [-j NumCPU] [-table3] [-fig2] [-fig3] [-fig4]
 //	            [-spec] [-all] [-metrics dir]
 //	experiments -campaign safety [-faults k1,k2] [-rates r1,r2] [-seed s] [-n N]
+//	experiments -campaign conform [-seed s] [-n N]
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 
 	"visa/internal/cache"
 	"visa/internal/clab"
+	"visa/internal/conform"
 	"visa/internal/fault"
 	"visa/internal/isa"
 	"visa/internal/memsys"
@@ -82,10 +91,9 @@ func main() {
 		check(rep.Err())
 	}
 
-	if *campaign != "" {
-		if *campaign != "safety" {
-			check(fmt.Errorf("unknown campaign %q (have: safety)", *campaign))
-		}
+	switch *campaign {
+	case "":
+	case "safety":
 		// The campaign has its own default instance count; -n overrides it.
 		c := rt.SafetyCampaign{Seed: *seed}
 		if nSet {
@@ -99,6 +107,17 @@ func main() {
 		c.Rates = rs
 		run(rt.SafetyCampaignPlan(benches, c), "safety.jsonl")
 		return
+	case "conform":
+		// N generated programs (its own default; -n overrides) plus every
+		// benchmark, through the cross-model conformance oracle.
+		c := conform.Campaign{Seed: *seed}
+		if nSet {
+			c.N = *n
+		}
+		run(conform.CampaignPlan(benches, c), "conform.jsonl")
+		return
+	default:
+		check(fmt.Errorf("unknown campaign %q (have: safety, conform)", *campaign))
 	}
 
 	if !*t3 && !*f2 && !*f3 && !*f4 && !*spec && !*all {

@@ -6,6 +6,7 @@
 //	visasim [-proc simple|complex] [-mhz 1000] [-runs 1] [-j NumCPU]
 //	        [-trace out.json] [-metrics out.jsonl|out.csv]
 //	        (-bench name[,name...]|all | file.c)
+//	visasim -conform (-gen seed [-keep i,j] [-dump] | -bench name|all | file.c)
 //
 // With -bench it runs embedded C-lab benchmarks — one name, a
 // comma-separated list, or "all"; otherwise it compiles and runs the given
@@ -22,6 +23,14 @@
 // record per run and per sub-task, then the full counter registry, as
 // JSONL (or CSV for .csv paths). Both outputs use simulated time only and
 // are byte-identical across repeated runs.
+//
+// -conform runs the cross-model conformance oracle (internal/conform)
+// instead of a simulation: the program is swept through the functional
+// machine, the simple pipeline, the complex core's simple mode, and the
+// WCET analyzer at every operating point, asserting invariants I1-I4.
+// With -gen the program is generated from a seed — the replay path for
+// `experiments -campaign conform` reproducers, whose -keep subsets select
+// minimized sub-task segments. Exits nonzero on any violation.
 package main
 
 import (
@@ -29,11 +38,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 
 	"visa/internal/cache"
 	"visa/internal/clab"
+	"visa/internal/conform"
 	"visa/internal/core"
 	"visa/internal/exec"
 	"visa/internal/fault"
@@ -68,7 +79,17 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write per-run/per-sub-task metrics (JSONL, or CSV for .csv)")
 	injectFlag := flag.String("inject", "",
 		"seeded fault plan kind:rate[:cycles[:seed]] (kinds: "+kindNames()+")")
+	conformFlag := flag.Bool("conform", false,
+		"run the cross-model conformance oracle instead of a simulation")
+	genFlag := flag.String("gen", "", "conformance: generate the program from this seed (decimal or 0x hex)")
+	keepFlag := flag.String("keep", "", "conformance: keep only these generated sub-task segments (e.g. 0,2)")
+	dumpFlag := flag.Bool("dump", false, "conformance: print the generated program source")
 	flag.Parse()
+
+	if *conformFlag || *genFlag != "" {
+		runConform(*genFlag, *keepFlag, *bench, *dumpFlag)
+		return
+	}
 
 	proc, err := rt.ParseProc(*procFlag)
 	if err != nil {
@@ -217,6 +238,101 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("metrics: %d records -> %s\n", mw.Count(), *metricsPath)
+	}
+}
+
+// runConform is the -conform entry point: it sweeps each named program
+// through the conformance oracle (internal/conform) at every operating
+// point under the default paranoid-safe fault specs — the same check, and
+// the same derived fault seeds, as one `experiments -campaign conform`
+// cell, so a campaign failure replays here with one command.
+func runConform(genSeed, keep, bench string, dump bool) {
+	type target struct {
+		name      string
+		prog      *isa.Program
+		faultSeed uint64
+	}
+	var targets []target
+	switch {
+	case genSeed != "":
+		seed, err := strconv.ParseUint(genSeed, 0, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -gen seed %q: %v", genSeed, err))
+		}
+		g := conform.GenProgram(seed)
+		if keep != "" {
+			var ks []int
+			for _, s := range strings.Split(keep, ",") {
+				k, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil {
+					fatal(fmt.Errorf("bad -keep entry %q: %v", s, err))
+				}
+				ks = append(ks, k)
+			}
+			if g, err = g.Subset(ks); err != nil {
+				fatal(err)
+			}
+		}
+		if dump {
+			fmt.Print(g.Source())
+		}
+		prog, err := g.Program()
+		if err != nil {
+			fatal(err)
+		}
+		targets = append(targets, target{g.Name(), prog, seed})
+	case bench != "":
+		names := strings.Split(bench, ",")
+		if bench == "all" {
+			names = clab.Names()
+		}
+		for _, name := range names {
+			b := clab.ByName(name)
+			if b == nil {
+				fatal(fmt.Errorf("unknown benchmark %q (have %s)",
+					name, strings.Join(clab.Names(), " ")))
+			}
+			prog, err := b.Program()
+			if err != nil {
+				fatal(err)
+			}
+			targets = append(targets, target{b.Name, prog, conform.BenchSeed(b.Name)})
+		}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := minic.Compile(flag.Arg(0), string(src))
+		if err != nil {
+			fatal(err)
+		}
+		targets = append(targets, target{prog.Name, prog, conform.BenchSeed(prog.Name)})
+	default:
+		fatal(fmt.Errorf("-conform needs -gen <seed>, -bench, or a mini-C file"))
+	}
+
+	failed := false
+	for _, tg := range targets {
+		res, err := conform.Check(tg.prog, conform.Options{
+			Faults: conform.DefaultFaults(tg.faultSeed),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d instructions, %d sub-tasks, %d operating points, %d timing runs\n",
+			res.Name, res.DynInsts, res.SubTasks, res.Points, res.Runs)
+		if len(res.Violations) == 0 {
+			fmt.Println("conform: I1-I4 held (exec, simple, OOO simple-mode, WCET agree)")
+			continue
+		}
+		failed = true
+		for _, v := range res.Violations {
+			fmt.Printf("VIOLATION %s\n", v)
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

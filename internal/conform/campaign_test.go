@@ -1,0 +1,65 @@
+package conform
+
+import (
+	"testing"
+
+	"visa/internal/clab"
+	"visa/internal/rt"
+)
+
+// TestCampaignDeterministicMerge: the campaign's report text is
+// byte-identical for any worker count — the engine contract the conform
+// plan must not break with its custom jobs.
+func TestCampaignDeterministicMerge(t *testing.T) {
+	benches := []*clab.Benchmark{clab.ByName("cnt")}
+	c := Campaign{Seed: 3, N: 4, Points: []int{1000}}
+
+	texts := make([]string, 2)
+	for i, workers := range []int{1, 8} {
+		eng := &rt.Engine{Workers: workers}
+		rep, err := eng.Run(CampaignPlan(benches, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		texts[i] = rep.Text
+	}
+	if texts[0] != texts[1] {
+		t.Fatalf("report text differs across worker counts:\n-- j=1 --\n%s\n-- j=8 --\n%s",
+			texts[0], texts[1])
+	}
+	if texts[0] == "" {
+		t.Fatal("empty report")
+	}
+}
+
+// TestCampaignRowTypes: custom results round-trip through the engine as
+// *Row values, seeds derive stably, and renderers can rely on both.
+func TestCampaignRowTypes(t *testing.T) {
+	c := Campaign{Seed: 3, N: 2, Points: []int{1000}}
+	if c.ProgramSeed(0) == c.ProgramSeed(1) {
+		t.Fatal("program seeds collide")
+	}
+	eng := &rt.Engine{Workers: 2}
+	rep, err := eng.Run(CampaignPlan(nil, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range rep.Results {
+		row, ok := res.Custom.(*Row)
+		if !ok {
+			t.Fatalf("result %d: Custom is %T, want *Row", i, res.Custom)
+		}
+		if row.Seed != c.ProgramSeed(i) {
+			t.Errorf("result %d: seed %#x, want %#x", i, row.Seed, c.ProgramSeed(i))
+		}
+		if row.Runs == 0 || row.DynInsts == 0 {
+			t.Errorf("result %d: empty row %+v", i, row)
+		}
+	}
+}

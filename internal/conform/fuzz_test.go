@@ -1,0 +1,34 @@
+package conform
+
+// FuzzConform drives the generator+oracle from arbitrary seeds: every
+// uint64 must expand to a valid program on which all four invariants hold
+// at the envelope's corner operating points. `go test` replays the
+// checked-in corpus under testdata/fuzz/FuzzConform deterministically;
+// `go test -fuzz=FuzzConform` explores beyond it.
+
+import (
+	"testing"
+)
+
+func FuzzConform(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 12, 42, 0xbad, 0xdeadbeef, 1 << 40, ^uint64(0)} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		g := GenProgram(seed)
+		prog, err := g.Program()
+		if err != nil {
+			t.Fatalf("seed %#x generated an invalid program: %v", seed, err)
+		}
+		res, err := Check(prog, Options{
+			Points: []int{100, 475, 1000},
+			Faults: DefaultFaults(seed),
+		})
+		if err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %#x (%s): %s", seed, g.ReplayCommand(), v)
+		}
+	})
+}

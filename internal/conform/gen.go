@@ -1,0 +1,341 @@
+// Package conform is the cross-model conformance oracle: it drives the
+// functional machine, the simple pipeline, the complex core's simple mode,
+// and the WCET analyzer over the same program in lockstep and asserts the
+// invariants that tie the VISA safety argument together:
+//
+//	I1  the functional retirement stream (dynamic instructions, OUT/OUTF
+//	    values, final instruction count) is identical across repeated runs
+//	    and across every timing model that consumes it;
+//	I2  the simple pipeline's observed cycles never exceed the static WCET
+//	    bound, per sub-task and whole-task, at every operating point, with
+//	    and without paranoid-safe fault injection;
+//	I3  after a complex→simple mode switch, the EQ 2 overhead is charged
+//	    exactly once and every post-switch sub-task still fits its bound;
+//	I4  the models' accounting identities hold: retired = fed, I-cache
+//	    accesses = fed, D-cache accesses = memory ops, complex + simple
+//	    retirements = total, exactly one mode switch.
+//
+// Programs come from the six C-lab benchmarks or from GenProgram, a seeded
+// random generator whose output is valid, terminating, #bound-annotated
+// assembly. A violation is rendered as a minimized reproducer replayable
+// with one command (visasim -conform -gen <seed> [-keep i,j]).
+package conform
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"visa/internal/isa"
+)
+
+// rng is a splitmix64 stream: tiny, seedable, and stable across releases,
+// so a seed names the same program forever.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rangeInt returns a value in [lo, hi].
+func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// Generator shape limits. Programs stay far below the I-cache size and a
+// few thousand dynamic instructions, so a full oracle sweep over one
+// program is cheap.
+const (
+	minSegs     = 2
+	maxSegs     = 5
+	maxLoopTrip = 12
+
+	// dataBytes / fdataBytes size the integer and double scratch arrays.
+	// Both are multiples of 8, so the double array stays 8-aligned.
+	dataBytes  = 1024
+	fdataBytes = 512
+)
+
+// Gen is one generated conformance program: a seed plus the sub-task
+// segments it expands to. Keep (nil = all) selects a segment subset — the
+// minimizer's unit of reduction. Each segment initializes every register
+// it reads, so any subset still assembles and terminates.
+type Gen struct {
+	Seed uint64
+	Keep []int
+
+	segs    []string
+	helpers []string
+}
+
+// GenProgram expands a seed into a program. The same seed always yields
+// byte-identical source.
+func GenProgram(seed uint64) *Gen {
+	g := &Gen{Seed: seed}
+	r := &rng{s: seed}
+
+	nHelpers := r.rangeInt(1, 2)
+	for h := 0; h < nHelpers; h++ {
+		g.helpers = append(g.helpers, genHelper(r, h))
+	}
+	nSegs := r.rangeInt(minSegs, maxSegs)
+	for s := 0; s < nSegs; s++ {
+		g.segs = append(g.segs, genSegment(r, s, nHelpers))
+	}
+	return g
+}
+
+// genHelper emits one straight-line leaf function h<idx>: a short integer
+// computation from the argument registers into the return register. It may
+// clobber r8/r9, matching the caller-saved convention the segments assume.
+func genHelper(r *rng, idx int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".func h%d\n", idx)
+	fmt.Fprintf(&b, "    add r2, r4, r5\n")
+	ops := []string{"xor", "add", "and", "or", "mul"}
+	for i, n := 0, r.rangeInt(1, 3); i < n; i++ {
+		fmt.Fprintf(&b, "    %s r2, r2, r%d\n", ops[r.intn(len(ops))], 4+r.intn(2))
+	}
+	if r.intn(2) == 0 {
+		fmt.Fprintf(&b, "    slli r8, r4, %d\n", r.rangeInt(1, 3))
+		fmt.Fprintf(&b, "    add r2, r2, r8\n")
+	}
+	fmt.Fprintf(&b, "    ret\n")
+	fmt.Fprintf(&b, ".endfunc")
+	return b.String()
+}
+
+// genSegment emits one sub-task body: 1-3 blocks drawn from the block
+// menu, each self-contained (its own li initializers, unique labels keyed
+// by the original segment index) and ending in an OUT so every block
+// contributes to the observable stream.
+func genSegment(r *rng, seg, nHelpers int) string {
+	var b strings.Builder
+	for blk, n := 0, r.rangeInt(1, 3); blk < n; blk++ {
+		switch r.intn(6) {
+		case 0:
+			genArith(r, &b)
+		case 1:
+			genLoop(r, &b, seg, blk)
+		case 2:
+			genMem(r, &b, seg, blk)
+		case 3:
+			genFP(r, &b)
+		case 4:
+			genCall(r, &b, nHelpers)
+		case 5:
+			genBranch(r, &b, seg, blk)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// genArith emits a short dependent integer chain, including the
+// multi-cycle ops (MUL/DIV/REM always see a non-zero divisor; the machine
+// defines division by zero anyway, but a constant divisor keeps the WCET
+// path trivially feasible).
+func genArith(r *rng, b *strings.Builder) {
+	fmt.Fprintf(b, "    li r8, %d\n", r.rangeInt(1, 999))
+	fmt.Fprintf(b, "    li r9, %d\n", r.rangeInt(1, 99))
+	ops := []string{"add", "sub", "xor", "mul", "sll", "srl", "slt", "div", "rem"}
+	for i, n := 0, r.rangeInt(2, 5); i < n; i++ {
+		op := ops[r.intn(len(ops))]
+		if op == "sll" || op == "srl" {
+			fmt.Fprintf(b, "    %si r8, r8, %d\n", op, r.rangeInt(1, 4))
+			continue
+		}
+		fmt.Fprintf(b, "    %s r8, r8, r9\n", op)
+	}
+	fmt.Fprintf(b, "    out r8\n")
+}
+
+// genLoop emits a bottom-tested counted loop whose #bound equals its exact
+// trip count, with an optional strided load/store in the body.
+func genLoop(r *rng, b *strings.Builder, seg, blk int) {
+	trip := r.rangeInt(1, maxLoopTrip)
+	label := fmt.Sprintf("g%db%d_loop", seg, blk)
+	withMem := r.intn(2) == 0
+	fmt.Fprintf(b, "    li r10, 0\n")
+	fmt.Fprintf(b, "    li r11, %d\n", trip)
+	fmt.Fprintf(b, "    li r12, %d\n", r.rangeInt(1, 99))
+	if withMem {
+		fmt.Fprintf(b, "    la r13, cbuf\n")
+	}
+	fmt.Fprintf(b, "%s:\n", label)
+	if withMem {
+		fmt.Fprintf(b, "    slli r9, r10, 2\n")
+		fmt.Fprintf(b, "    add r9, r9, r13\n")
+		if r.intn(2) == 0 {
+			fmt.Fprintf(b, "    sw r12, 0(r9)\n")
+		} else {
+			fmt.Fprintf(b, "    lw r8, 0(r9)\n")
+			fmt.Fprintf(b, "    add r12, r12, r8\n")
+		}
+	}
+	bodyOps := []string{"add", "xor", "mul"}
+	for i, n := 0, r.rangeInt(1, 2); i < n; i++ {
+		fmt.Fprintf(b, "    %s r12, r12, r10\n", bodyOps[r.intn(len(bodyOps))])
+	}
+	fmt.Fprintf(b, "    addi r10, r10, 1\n")
+	fmt.Fprintf(b, "    blt r10, r11, %s #bound %d\n", label, trip)
+	fmt.Fprintf(b, "    out r12\n")
+}
+
+// genMem emits straight-line loads and stores at static 4-aligned offsets
+// (and sometimes an 8-aligned double round-trip through the FP array).
+func genMem(r *rng, b *strings.Builder, seg, blk int) {
+	fmt.Fprintf(b, "    la r13, cbuf\n")
+	fmt.Fprintf(b, "    li r8, %d\n", r.rangeInt(1, 999))
+	for i, n := 0, r.rangeInt(1, 3); i < n; i++ {
+		off := 4 * r.intn(dataBytes/4)
+		if r.intn(2) == 0 {
+			fmt.Fprintf(b, "    sw r8, %d(r13)\n", off)
+		} else {
+			fmt.Fprintf(b, "    lw r9, %d(r13)\n", off)
+			fmt.Fprintf(b, "    add r8, r8, r9\n")
+		}
+	}
+	if r.intn(2) == 0 {
+		off := 8 * r.intn(fdataBytes/8)
+		fmt.Fprintf(b, "    la r14, cfbuf\n")
+		fmt.Fprintf(b, "    cvtif f6, r8\n")
+		fmt.Fprintf(b, "    sd f6, %d(r14)\n", off)
+		fmt.Fprintf(b, "    ld f7, %d(r14)\n", off)
+		fmt.Fprintf(b, "    cvtfi r8, f7\n")
+	}
+	fmt.Fprintf(b, "    out r8\n")
+}
+
+// genFP emits an FP chain seeded from integer constants via CVTIF,
+// exercising the multi-cycle FP units, a compare back into the integer
+// file, and both output streams.
+func genFP(r *rng, b *strings.Builder) {
+	fmt.Fprintf(b, "    li r8, %d\n", r.rangeInt(1, 99))
+	fmt.Fprintf(b, "    li r9, %d\n", r.rangeInt(1, 99))
+	fmt.Fprintf(b, "    cvtif f6, r8\n")
+	fmt.Fprintf(b, "    cvtif f7, r9\n")
+	ops := []string{"fadd", "fsub", "fmul", "fdiv"}
+	for i, n := 0, r.rangeInt(1, 3); i < n; i++ {
+		fmt.Fprintf(b, "    %s f6, f6, f7\n", ops[r.intn(len(ops))])
+	}
+	fmt.Fprintf(b, "    flt r8, f6, f7\n")
+	fmt.Fprintf(b, "    outf f6\n")
+	fmt.Fprintf(b, "    out r8\n")
+}
+
+// genCall emits a call to one of the generated leaf helpers. r8/r9 are the
+// helpers' scratch registers, so nothing live crosses the call.
+func genCall(r *rng, b *strings.Builder, nHelpers int) {
+	fmt.Fprintf(b, "    li r4, %d\n", r.rangeInt(1, 99))
+	fmt.Fprintf(b, "    li r5, %d\n", r.rangeInt(1, 99))
+	fmt.Fprintf(b, "    call h%d\n", r.intn(nHelpers))
+	fmt.Fprintf(b, "    out r2\n")
+}
+
+// genBranch emits a forward conditional skip (no #bound needed: only back
+// edges carry bounds), so the CFG has joins outside loops.
+func genBranch(r *rng, b *strings.Builder, seg, blk int) {
+	label := fmt.Sprintf("g%db%d_skip", seg, blk)
+	ops := []string{"beq", "bne", "blt", "bge"}
+	fmt.Fprintf(b, "    li r8, %d\n", r.rangeInt(1, 99))
+	fmt.Fprintf(b, "    li r9, %d\n", r.rangeInt(1, 99))
+	fmt.Fprintf(b, "    %s r8, r9, %s\n", ops[r.intn(len(ops))], label)
+	fmt.Fprintf(b, "    add r8, r8, r9\n")
+	fmt.Fprintf(b, "%s:\n", label)
+	fmt.Fprintf(b, "    out r8\n")
+}
+
+// Indices returns the kept segment indices in ascending order.
+func (g *Gen) Indices() []int {
+	if g.Keep != nil {
+		return g.Keep
+	}
+	all := make([]int, len(g.segs))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// Subset returns a copy of g keeping only the named segments (which must
+// be a non-empty ascending subset of the current Indices).
+func (g *Gen) Subset(keep []int) (*Gen, error) {
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("conform: empty segment subset")
+	}
+	prev := -1
+	for _, k := range keep {
+		if k <= prev || k < 0 || k >= len(g.segs) {
+			return nil, fmt.Errorf("conform: bad segment subset %v (program has %d segments)",
+				keep, len(g.segs))
+		}
+		prev = k
+	}
+	return &Gen{Seed: g.Seed, Keep: keep, segs: g.segs, helpers: g.helpers}, nil
+}
+
+// Source renders the kept segments as assembly. MARK 0 is the first
+// instruction of main, so the WCET regions cover the whole execution, and
+// marks are renumbered densely — Validate requires Imm == index.
+func (g *Gen) Source() string {
+	var b strings.Builder
+	b.WriteString(".data\n")
+	fmt.Fprintf(&b, "cbuf: .space %d\n", dataBytes)
+	fmt.Fprintf(&b, "cfbuf: .space %d\n", fdataBytes)
+	b.WriteString(".text\n")
+	b.WriteString(".func main\n")
+	for i, idx := range g.Indices() {
+		fmt.Fprintf(&b, "    mark %d\n", i)
+		b.WriteString(g.segs[idx])
+		b.WriteString("\n")
+	}
+	b.WriteString("    halt\n")
+	b.WriteString(".endfunc\n")
+	for _, h := range g.helpers {
+		b.WriteString(h)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Name is the program name a seed (and subset) expands to.
+func (g *Gen) Name() string {
+	if g.Keep != nil {
+		return fmt.Sprintf("gen-%016x-k%s", g.Seed, joinInts(g.Keep, "_"))
+	}
+	return fmt.Sprintf("gen-%016x", g.Seed)
+}
+
+// Program assembles and validates the kept segments.
+func (g *Gen) Program() (*isa.Program, error) {
+	prog, err := isa.Assemble(g.Name(), g.Source())
+	if err != nil {
+		return nil, fmt.Errorf("conform: seed %#x: %w", g.Seed, err)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("conform: seed %#x: %w", g.Seed, err)
+	}
+	return prog, nil
+}
+
+// ReplayCommand is the one-command reproducer for this exact program.
+func (g *Gen) ReplayCommand() string {
+	cmd := fmt.Sprintf("visasim -conform -gen 0x%x", g.Seed)
+	if g.Keep != nil {
+		cmd += " -keep " + joinInts(g.Keep, ",")
+	}
+	return cmd
+}
+
+func joinInts(xs []int, sep string) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, sep)
+}

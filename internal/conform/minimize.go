@@ -1,0 +1,102 @@
+package conform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Repro is a one-command reproducer for an invariant violation.
+type Repro struct {
+	Seed       uint64
+	Keep       []int
+	Invariants []string // the invariants the reproducer still violates
+	Command    string
+	Source     string
+}
+
+func (r *Repro) String() string {
+	return fmt.Sprintf("violates %s; replay: %s",
+		strings.Join(r.Invariants, ","), r.Command)
+}
+
+// invariantsOf lists the distinct violated invariants, in report order.
+func invariantsOf(res *Result) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, v := range res.Violations {
+		if !seen[v.Invariant] {
+			seen[v.Invariant] = true
+			out = append(out, v.Invariant)
+		}
+	}
+	return out
+}
+
+// Minimize shrinks a failing generated program by greedily dropping
+// sub-task segments while at least one of the original run's violated
+// invariants still fails under the same options. Segments are
+// self-contained, so every subset is a valid program; each candidate is
+// re-checked from scratch, which keeps the reduction sound even across
+// segments coupled through memory. The returned reproducer replays with
+// one command. If res has no violations, Minimize returns nil.
+func Minimize(g *Gen, opt Options, res *Result) (*Repro, error) {
+	want := invariantsOf(res)
+	if len(want) == 0 {
+		return nil, nil
+	}
+	stillFails := func(r *Result) bool {
+		for _, inv := range want {
+			if r.Failed(inv) {
+				return true
+			}
+		}
+		return false
+	}
+
+	cur := g
+	keep := cur.Indices()
+	for changed := true; changed && len(keep) > 1; {
+		changed = false
+		for i := 0; i < len(keep) && len(keep) > 1; i++ {
+			trial := make([]int, 0, len(keep)-1)
+			trial = append(trial, keep[:i]...)
+			trial = append(trial, keep[i+1:]...)
+			sub, err := cur.Subset(trial)
+			if err != nil {
+				return nil, err
+			}
+			prog, err := sub.Program()
+			if err != nil {
+				continue // subset unexpectedly invalid: keep the segment
+			}
+			r, err := Check(prog, opt)
+			if err != nil || !stillFails(r) {
+				continue
+			}
+			cur, keep = sub, trial
+			changed = true
+			i--
+		}
+	}
+
+	prog, err := cur.Program()
+	if err != nil {
+		return nil, err
+	}
+	final, err := Check(prog, opt)
+	if err != nil {
+		return nil, err
+	}
+	invs := invariantsOf(final)
+	if len(invs) == 0 {
+		// The full program is its own (non-shrinkable) reproducer.
+		cur, invs = g, want
+	}
+	return &Repro{
+		Seed:       cur.Seed,
+		Keep:       cur.Keep,
+		Invariants: invs,
+		Command:    cur.ReplayCommand(),
+		Source:     cur.Source(),
+	}, nil
+}

@@ -1,0 +1,43 @@
+package conform
+
+import (
+	"testing"
+
+	"visa/internal/clab"
+	"visa/internal/power"
+)
+
+// TestBenchmarksConform is the I2 property over the real workloads: every
+// C-lab benchmark, at every DVS operating point, under every paranoid-safe
+// fault spec, stays within its static WCET bound — and satisfies I1/I3/I4
+// along the way. -short trims the sweep to the envelope's corner points;
+// the full 37-point sweep runs in CI and `make tier-conform`.
+func TestBenchmarksConform(t *testing.T) {
+	points := []int(nil) // all operating points
+	if testing.Short() {
+		points = []int{power.MinPoint().FMHz, 475, power.MaxPoint().FMHz}
+	}
+	for _, b := range clab.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := b.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Check(prog, Options{
+				Points: points,
+				Faults: DefaultFaults(BenchSeed(b.Name)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("%s: %s", b.Name, v)
+			}
+			if res.DynInsts == 0 {
+				t.Error("empty execution")
+			}
+		})
+	}
+}

@@ -63,8 +63,11 @@ func (m *Machine) Reset() {
 	m.Mem.Reset()
 	m.Mem.LoadImage(isa.DataBase, m.Prog.Data)
 	m.PC = m.Prog.Entry()
-	m.Out = m.Out[:0]
-	m.OutF = m.OutF[:0]
+	// Fresh output slices: callers may hold the previous run's Out/OutF (the
+	// conformance oracle compares streams across runs), so truncating in
+	// place would let the next run overwrite them.
+	m.Out = nil
+	m.OutF = nil
 	m.Seq = 0
 	m.Halted = false
 	// A return from the entry function lands on the sentinel, halting.
@@ -113,9 +116,22 @@ func (m *Machine) Step() (DynInst, bool, error) {
 	return d, true, nil
 }
 
-// Run executes until halt (or the step limit) and returns the number of
-// dynamic instructions. It is the fast path for tests that only need
-// architectural results.
+// BudgetError reports that Run's instruction budget ran out before the
+// program halted. It is distinguishable (via errors.As) from execution
+// faults, so harnesses can treat "still running" differently from "crashed".
+type BudgetError struct {
+	Limit int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("instruction budget %d exhausted before halt", e.Limit)
+}
+
+// Run executes until halt, or until exactly limit instructions have executed
+// (limit <= 0 means no budget), and returns the number of dynamic
+// instructions. A program that halts on its limit-th instruction is a clean
+// halt; only a program still runnable after limit instructions yields a
+// *BudgetError.
 func (m *Machine) Run(limit int64) (int64, error) {
 	for {
 		_, ok, err := m.Step()
@@ -125,8 +141,8 @@ func (m *Machine) Run(limit int64) (int64, error) {
 		if !ok {
 			return m.Seq, nil
 		}
-		if limit > 0 && m.Seq >= limit {
-			return m.Seq, fmt.Errorf("step limit %d exceeded", limit)
+		if limit > 0 && m.Seq >= limit && !m.Halted {
+			return m.Seq, &BudgetError{Limit: limit}
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -251,6 +252,64 @@ func TestHaltOnReturnFromMain(t *testing.T) {
 	}
 	if len(m.Out) != 1 || m.Out[0] != 9 {
 		t.Fatalf("Out = %v", m.Out)
+	}
+}
+
+// The program below executes exactly 3 instructions (li, out, halt).
+const threeInstSrc = `
+.text
+.func main
+    li r1, 7
+    out r1
+    halt
+.endfunc`
+
+func TestRunBudgetExactHalt(t *testing.T) {
+	p := isa.MustAssemble("t", threeInstSrc)
+	m := New(p)
+	// Halting on exactly the limit-th instruction is a clean halt.
+	n, err := m.Run(3)
+	if err != nil {
+		t.Fatalf("Run(3) on a 3-instruction program: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("retired %d instructions, want 3", n)
+	}
+}
+
+func TestRunBudgetExhausted(t *testing.T) {
+	p := isa.MustAssemble("t", threeInstSrc)
+	m := New(p)
+	n, err := m.Run(2)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("Run(2) err = %v, want *BudgetError", err)
+	}
+	if be.Limit != 2 || n != 2 {
+		t.Fatalf("limit=%d retired=%d, want 2/2", be.Limit, n)
+	}
+	// Budget exhaustion is not a fault: the machine can keep stepping.
+	if _, ok, err := m.Step(); err != nil || !ok {
+		t.Fatalf("Step after budget: ok=%v err=%v, want resumable", ok, err)
+	}
+}
+
+func TestResetDoesNotAliasOutputs(t *testing.T) {
+	p := isa.MustAssemble("t", threeInstSrc)
+	m := New(p)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	out1 := m.Out
+	m.Reset()
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if &out1[0] == &m.Out[0] {
+		t.Fatal("Reset reused the previous run's Out backing array")
+	}
+	if out1[0] != 7 || m.Out[0] != 7 {
+		t.Fatalf("outputs corrupted: %v / %v", out1, m.Out)
 	}
 }
 

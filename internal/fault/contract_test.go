@@ -1,0 +1,130 @@
+package fault_test
+
+// Contract tests tying the two timing models' injection envelopes together:
+// the simple pipeline clamps injected miss latencies to [0, worst] and the
+// complex core clamps injected stalls to [0, ooo.MaxInjectCycles]. Both
+// consumers enforce their contract themselves, so even an injector that
+// violates the hook documentation (negative or absurdly large values)
+// cannot push either pipeline outside its envelope — and the two envelopes
+// can never drift apart from the fault taxonomy's cap.
+
+import (
+	"testing"
+
+	"visa/internal/cache"
+	"visa/internal/exec"
+	"visa/internal/fault"
+	"visa/internal/isa"
+	"visa/internal/memsys"
+	"visa/internal/ooo"
+	"visa/internal/simple"
+)
+
+// adversary implements both pipelines' injector hooks with a fixed,
+// deliberately out-of-contract stall value.
+type adversary struct{ stall int64 }
+
+func (a *adversary) FetchStall() int64             { return a.stall }
+func (a *adversary) PoisonBranch() bool            { return false }
+func (a *adversary) LoadStall() int64              { return a.stall }
+func (a *adversary) DrainStall() bool              { return false }
+func (a *adversary) MissLatency(worst int64) int64 { return a.stall }
+
+// memLoop strides loads one cache line apart so every load misses cold.
+func memLoop() *isa.Program {
+	return isa.MustAssemble("memloop", `
+.data
+arr: .space 2048
+.text
+.func main
+    la r2, arr
+    li r1, 16
+    li r3, 0
+loop:
+    lw r4, 0(r2)
+    addi r2, r2, 64
+    addi r3, r3, 1
+    blt r3, r1, loop #bound 16
+    halt
+.endfunc`)
+}
+
+func timeSimple(t *testing.T, inj simple.Injector) int64 {
+	t.Helper()
+	p := simple.New(cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1),
+		memsys.NewBus(memsys.Default, 1000))
+	p.Inject = inj
+	m := exec.New(memLoop())
+	for {
+		d, ok, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return p.Now()
+		}
+		p.Feed(&d)
+	}
+}
+
+func timeOOO(t *testing.T, inj ooo.Injector) (cycles, fed int64) {
+	t.Helper()
+	p := ooo.New(ooo.Config{}, cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1),
+		memsys.NewBus(memsys.Default, 1000))
+	p.Inject = inj
+	m := exec.New(memLoop())
+	for {
+		d, ok, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return p.Now(), fed
+		}
+		p.Feed(&d)
+		fed++
+	}
+}
+
+// TestInjectCapsMatch pins the complex core's clamp to the fault taxonomy's
+// spec cap, so the two can never diverge silently.
+func TestInjectCapsMatch(t *testing.T) {
+	if ooo.MaxInjectCycles != fault.MaxCycles {
+		t.Fatalf("ooo.MaxInjectCycles = %d, fault.MaxCycles = %d: envelopes diverged",
+			ooo.MaxInjectCycles, fault.MaxCycles)
+	}
+}
+
+// TestSimpleClampContract: negative injected miss latency clamps to 0 (runs
+// at least as fast as worst-case), over-worst clamps to exactly worst (same
+// timing as no injector at all).
+func TestSimpleClampContract(t *testing.T) {
+	base := timeSimple(t, nil)
+	over := timeSimple(t, &adversary{stall: 1 << 40})
+	if over != base {
+		t.Errorf("over-worst injection: %d cycles, want clamped to baseline %d", over, base)
+	}
+	neg := timeSimple(t, &adversary{stall: -5})
+	if neg >= base {
+		t.Errorf("negative injection: %d cycles, want < baseline %d (misses shortened to 0)", neg, base)
+	}
+}
+
+// TestOOOClampContract: the complex core honors the identical contract —
+// negative stalls are no-ops, over-cap stalls are bounded by
+// MaxInjectCycles per hook consultation.
+func TestOOOClampContract(t *testing.T) {
+	base, fed := timeOOO(t, nil)
+	neg, _ := timeOOO(t, &adversary{stall: -5})
+	if neg != base {
+		t.Errorf("negative injection: %d cycles, want exactly baseline %d", neg, base)
+	}
+	over, _ := timeOOO(t, &adversary{stall: 1 << 40})
+	// FetchStall and LoadStall each fire at most once per instruction.
+	if limit := base + 2*fed*ooo.MaxInjectCycles; over > limit {
+		t.Errorf("over-cap injection: %d cycles > bound %d (clamp not applied)", over, limit)
+	}
+	if over <= base {
+		t.Errorf("over-cap injection: %d cycles <= baseline %d (stall not applied at all)", over, base)
+	}
+}

@@ -52,6 +52,26 @@ type Injector interface {
 	DrainStall() bool
 }
 
+// MaxInjectCycles caps a single injected stall. It mirrors the simple
+// pipeline's [0, worst] MissLatency clamp: the consumer enforces the
+// contract rather than trusting the injector, so a misbehaving hook cannot
+// stall the core longer than the fault taxonomy's cap (fault.MaxCycles —
+// kept equal by a contract test in internal/fault). Negative returns are
+// treated as no stall.
+const MaxInjectCycles = 2000
+
+// clampInject applies the [0, MaxInjectCycles] contract to a stall drawn
+// from an Injector hook.
+func clampInject(stall int64) int64 {
+	if stall < 0 {
+		return 0
+	}
+	if stall > MaxInjectCycles {
+		return MaxInjectCycles
+	}
+	return stall
+}
+
 // IdledThreadError reports a hardware protocol violation: a non-real-time
 // thread was fed while the pipeline was in simple mode, where the paper
 // idles all threads but the hard real-time task (§1.1). It surfaces as a
@@ -458,7 +478,15 @@ func (p *Pipeline) SwitchToSimple(atCycle int64) int64 {
 	start := atCycle + p.Cfg.SwitchOvhdCycles
 	p.mode = ModeSimple
 	p.Stats.ModeSwitches++
+	// Rebase makes start the accounting origin (Now() == start, zero elapsed
+	// simple-mode cycles), but on its own it would let the first fetch
+	// complete AT start — inside the drain window (atCycle, start] — so the
+	// switch overhead would effectively be a cycle short and that cycle
+	// would count against both mode totals. Holding fetch to start+1 keeps
+	// the drain and simple-mode execution disjoint: the overhead is charged
+	// exactly once.
 	p.simple.Rebase(start)
+	p.simple.HoldFetch(start + 1)
 	p.Bus.Reset()
 	return start
 }
@@ -534,7 +562,7 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) (int64, error) {
 		t.fetchBlock, t.haveBlock = blk, true
 	}
 	if p.Inject != nil {
-		if stall := p.Inject.FetchStall(); stall > 0 {
+		if stall := clampInject(p.Inject.FetchStall()); stall > 0 {
 			// Injected front-end throttle: the fetch cursor stalls exactly as
 			// on an I-cache fill.
 			p.fetchSlots.reset(ft + stall)
@@ -630,7 +658,7 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) (int64, error) {
 				}
 			}
 			if p.Inject != nil {
-				if stall := p.Inject.LoadStall(); stall > 0 {
+				if stall := clampInject(p.Inject.LoadStall()); stall > 0 {
 					// Injected miss latency: the load behaves as if its fill
 					// came back stall cycles later, bus occupancy included.
 					fill := p.Bus.Request(it+regRead) + stall

@@ -246,6 +246,60 @@ func TestSwitchToSimple(t *testing.T) {
 	}
 }
 
+// TestSwitchBoundaryExact pins the mode-switch accounting at the exact
+// boundary cycle (invariants I3/I4): the drain window (atCycle, start] and
+// simple-mode execution must be disjoint, so the first post-switch
+// instruction — a single-cycle op hitting a warm I-cache — fetches at
+// start+1 and retires at start+8 after the in-order pipeline's fill
+// (FetchToExec + execute + memory + writeback). Before the fix, Rebase let
+// that fetch complete AT start, shortening the drain to 63 cycles and
+// counting the boundary cycle against both mode totals.
+func TestSwitchBoundaryExact(t *testing.T) {
+	prog := ilpLoop(50)
+	p := newPipe()
+	m := exec.New(prog)
+	var fed int64
+	for {
+		d, ok, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rt := p.Feed(&d)
+		fed++
+		if fed != 60 {
+			continue
+		}
+		// The loop body is warm in the shared I-cache by now.
+		start := p.SwitchToSimple(rt)
+		if want := rt + p.Cfg.SwitchOvhdCycles; start != want {
+			t.Fatalf("switch start = %d, want %d", start, want)
+		}
+		if p.Now() != start {
+			t.Fatalf("Now() = %d right after switch, want %d (zero elapsed simple-mode cycles)", p.Now(), start)
+		}
+		d2, ok, err := m.Step()
+		if err != nil || !ok {
+			t.Fatalf("program ended at the switch point: ok=%v err=%v", ok, err)
+		}
+		fed++
+		first := p.Feed(&d2)
+		if want := start + 1 + simple.FetchToExec + 3; first != want {
+			t.Fatalf("first post-switch retire = %d, want start+8 = %d (fetch at start+1)", first, want)
+		}
+	}
+	// I4: every fed instruction is counted in exactly one mode total.
+	if got := p.Stats.Retired + p.Stats.SimpleModeRetired; got != fed {
+		t.Errorf("complex retired %d + simple retired %d != fed %d",
+			p.Stats.Retired, p.Stats.SimpleModeRetired, fed)
+	}
+	if p.Stats.ModeSwitches != 1 {
+		t.Errorf("ModeSwitches = %d, want 1", p.Stats.ModeSwitches)
+	}
+}
+
 func TestSimpleModeMatchesVISATiming(t *testing.T) {
 	// In simple mode from cycle 0, the complex core's timing must be
 	// exactly the VISA engine's timing: same caches, same rules.
@@ -257,6 +311,7 @@ func TestSimpleModeMatchesVISATiming(t *testing.T) {
 	ic := cache.MustNew(cache.VISAL1)
 	dc := cache.MustNew(cache.VISAL1)
 	ref := simple.New(ic, dc, memsys.NewBus(memsys.Default, 1000))
+	ref.HoldFetch(1) // SwitchToSimple holds the first fetch past the drain
 	m := exec.New(prog)
 	i := 0
 	for {

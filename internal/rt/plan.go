@@ -67,6 +67,11 @@ type JobResult struct {
 	Savings *SavingsRow
 	Table3  *Table3Row
 	Safety  *SafetyRow
+
+	// Custom carries the row of a Job with a custom Run function (for plans
+	// defined outside this package, e.g. the conformance campaign). Renderers
+	// of such plans type-assert it back.
+	Custom any
 }
 
 // Report is a finished plan: per-job typed rows in plan order plus the

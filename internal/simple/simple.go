@@ -160,6 +160,18 @@ func (p *Pipeline) Rebase(cycle int64) {
 // Now returns the retire cycle of the most recent instruction.
 func (p *Pipeline) Now() int64 { return p.lastWB }
 
+// HoldFetch prevents the next fetch from completing before the given cycle
+// without advancing the pipeline's notion of now (Now() is unchanged). The
+// complex core uses it at a mode switch: Rebase(start) makes start the
+// accounting origin, and HoldFetch(start+1) keeps the first simple-mode
+// fetch strictly after the drain window instead of overlapping its final
+// cycle.
+func (p *Pipeline) HoldFetch(cycle int64) {
+	if cycle > p.redirect {
+		p.redirect = cycle
+	}
+}
+
 // State is a snapshot of the pipeline's timing state. The static timing
 // analyzer uses it to compose path timings soundly: every field is a
 // "ready at" cycle, and a state with later fields is strictly worse, so the
