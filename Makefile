@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier2 tier-race tier-fault tier-conform vet fmt-check race test bench-engine clean
+.PHONY: all build tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-all vet fmt-check race test bench-engine bench-json clean
 
 all: build
 
@@ -50,10 +50,30 @@ tier-conform:
 	$(GO) test ./internal/conform/...
 	$(GO) run ./cmd/experiments -campaign conform -seed 1 -n 200
 
+# Tier lint: the custom static-analysis gate — the lint framework's own
+# unit and golden tests, then the visavet suite (detlint, seedlint,
+# hotalloc, errlint) over the whole repo. Zero unsuppressed findings is
+# the bar; justified escapes use //visa:allow(<analyzer>): <reason>.
+tier-lint:
+	$(GO) test ./internal/lint/...
+	$(GO) run ./cmd/visavet ./...
+
+# Tier all: every gate in one invocation.
+tier-all: tier1 tier2 tier-race tier-fault tier-conform tier-lint
+
 # Records the serial-vs-parallel wall-clock of the full evaluation
 # (`experiments -all -n 20` equivalent; see bench_test.go).
 bench-engine:
 	$(GO) test -run '^$$' -bench 'BenchmarkExperimentsAll' -benchtime 1x .
+
+# Regenerates BENCH_6.json: the committed benchmark record (name, ns/op,
+# B/op, allocs/op) covering the evaluation-level engine benchmarks (one
+# shot each — they run whole experiment tables) and the per-cycle pipeline
+# Feed kernels whose allocs/op the hotalloc analyzer guards.
+bench-json:
+	( $(GO) test -run '^$$' -bench 'Table3|Figure|FunctionalExecutor|SimplePipeline|ComplexPipeline|WCETAnalysis' -benchtime 1x -benchmem . && \
+	  $(GO) test -run '^$$' -bench 'PipelineFeed' -benchmem ./internal/simple/ ./internal/ooo/ ) \
+	  | $(GO) run ./cmd/benchjson -o BENCH_6.json
 
 test: tier1
 

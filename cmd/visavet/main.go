@@ -1,0 +1,67 @@
+// Command visavet runs the repo's static-analysis suite (internal/lint)
+// over package patterns and exits non-zero on any unsuppressed finding.
+// It is the multichecker behind `make tier-lint`:
+//
+//	go run ./cmd/visavet ./...
+//	go run ./cmd/visavet -only detlint,hotalloc ./internal/simple/...
+//
+// Findings print as file:line:col: [analyzer] message. Suppress a justified
+// finding in place with `//visa:allow(analyzer): reason`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"visa/internal/lint"
+)
+
+func main() {
+	var (
+		only = flag.String("only", "", "comma-separated analyzer subset (default: all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: visavet [-only a,b] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "visavet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

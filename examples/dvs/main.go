@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"visa/internal/clab"
 	"visa/internal/rt"
@@ -48,8 +49,14 @@ func main() {
 		log.Fatal(err)
 	}
 	total := row.Complex.Energy
-	for name, e := range row.Complex.Acct.Breakdown() {
-		if e > 0 {
+	breakdown := row.Complex.Acct.Breakdown()
+	names := make([]string, 0, len(breakdown))
+	for name := range breakdown {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if e := breakdown[name]; e > 0 {
 			fmt.Printf("  %-10s %5.1f%%\n", name, 100*e/total)
 		}
 	}

@@ -1,6 +1,8 @@
 package absint
 
 import (
+	"sort"
+
 	"visa/internal/cfg"
 	"visa/internal/isa"
 )
@@ -338,8 +340,15 @@ func (fa *funcAnalysis) transfer(bid int, st *state, emit func(to int, st *state
 			}
 			add(s, &es)
 		}
-		for t, os := range outs {
-			emit(t, os)
+		// Emit in sorted target order so the fixpoint worklist — and with
+		// it widening decisions and diagnostic order — is deterministic.
+		targets := make([]int, 0, len(outs))
+		for t := range outs {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets)
+		for _, t := range targets {
+			emit(t, outs[t])
 		}
 	case last.Op == isa.JAL:
 		fa.step(st, lastPC)

@@ -1,0 +1,34 @@
+package absint
+
+// Regression test for a detlint finding fixed in the static-analysis PR:
+// transfer() used to emit per-successor states in map order, so the
+// fixpoint worklist — and with it widening decisions and finding order —
+// could differ between runs.
+
+import (
+	"fmt"
+	"testing"
+
+	"visa/internal/cfg"
+	"visa/internal/clab"
+)
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	for _, name := range []string{"cnt", "fft", "adpcm"} {
+		prog := mustProgram(t, clab.ByName(name))
+		g, err := cfg.Build(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		render := func() string {
+			rep := Analyze(g)
+			return fmt.Sprintf("bounds=%v mem=%v", ValidateBounds(g, rep), MemLint(g, rep))
+		}
+		first := render()
+		for i := 0; i < 10; i++ {
+			if got := render(); got != first {
+				t.Fatalf("%s: analysis findings not deterministic on run %d:\n--- first\n%s\n--- now\n%s", name, i, first, got)
+			}
+		}
+	}
+}

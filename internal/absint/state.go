@@ -178,6 +178,7 @@ func (s *state) eq(o *state) bool {
 	if len(s.mem) != len(o.mem) {
 		return false
 	}
+	//visa:allow(detlint): map-equality check; the verdict is independent of iteration order
 	for k, v := range s.mem {
 		if ov, ok := o.mem[k]; !ok || ov != v {
 			return false
@@ -206,6 +207,7 @@ func (s *state) join(o *state) state {
 	if len(big) < len(small) {
 		small, big = big, small
 	}
+	//visa:allow(detlint): keyed join — each iteration writes a distinct key of r.mem
 	for k, v := range small {
 		bv, ok := big[k]
 		if !ok {
@@ -239,6 +241,7 @@ func (s *state) widenFrom(new *state) state {
 			r.orig[i] = s.orig[i]
 		}
 	}
+	//visa:allow(detlint): keyed widen — each iteration writes a distinct key of r.mem
 	for k, v := range s.mem {
 		nv, ok := new.mem[k]
 		if !ok {

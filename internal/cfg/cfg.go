@@ -106,9 +106,15 @@ func BuildWithOptions(prog *isa.Program, opts Options) (*Graph, error) {
 			}
 		}
 	}
-	// Callees must exist.
-	for caller, callees := range calls {
-		for _, c := range callees {
+	// Callees must exist. Check callers in sorted order so the error for a
+	// program with several bad call sites is deterministic.
+	callers := make([]string, 0, len(calls))
+	for caller := range calls {
+		callers = append(callers, caller)
+	}
+	sort.Strings(callers)
+	for _, caller := range callers {
+		for _, c := range calls[caller] {
 			if g.Funcs[c] == nil {
 				return nil, fmt.Errorf("cfg: %s calls unknown function %s", caller, c)
 			}
@@ -374,6 +380,7 @@ func findLoops(g *FuncGraph, opts Options) error {
 
 	// Innermost-loop membership per block.
 	for _, l := range g.Loops {
+		//visa:allow(detlint): loops nest strictly, so the innermost winner is order-independent
 		for bid := range l.Blocks {
 			b := g.Blocks[bid]
 			if b.Loop == -1 || len(g.Loops[b.Loop].Blocks) > len(l.Blocks) {
@@ -425,6 +432,7 @@ func missingBoundErr(g *FuncGraph, l *Loop) error {
 // nearestLabel finds the closest code label at or before pc inside fn.
 func nearestLabel(prog *isa.Program, fn isa.FuncInfo, pc int) (string, int, bool) {
 	best, bestPC := "", -1
+	//visa:allow(detlint): arg-max with a lexical tie-break; the winner is order-independent
 	for name, lpc := range prog.Labels {
 		if lpc < fn.Start || lpc > pc {
 			continue
@@ -437,6 +445,7 @@ func nearestLabel(prog *isa.Program, fn isa.FuncInfo, pc int) (string, int, bool
 }
 
 func containsAll(outer, inner map[int]bool) bool {
+	//visa:allow(detlint): set containment; the verdict is independent of iteration order
 	for b := range inner {
 		if !outer[b] {
 			return false

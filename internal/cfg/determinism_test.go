@@ -1,0 +1,51 @@
+package cfg
+
+// Regression test for a detlint finding fixed in the static-analysis PR:
+// the unknown-callee check used to range over a map of callers, so a
+// program with several bad call sites failed with a different message from
+// run to run.
+
+import (
+	"strings"
+	"testing"
+
+	"visa/internal/isa"
+)
+
+func TestUnknownCalleeErrorDeterministic(t *testing.T) {
+	// Both alpha and beta JAL into the middle of gamma — call targets that
+	// are not function entry points, hence "unknown functions".
+	prog := isa.MustAssemble("badcalls", `
+.text
+.func alpha
+    jal mid
+    halt
+.endfunc
+.func beta
+    jal mid
+    halt
+.endfunc
+.func gamma
+    addi r1, r1, 1
+mid:
+    addi r1, r1, 1
+    halt
+.endfunc`)
+	var first string
+	for i := 0; i < 50; i++ {
+		_, err := Build(prog)
+		if err == nil {
+			t.Fatal("expected unknown-callee error")
+		}
+		if i == 0 {
+			first = err.Error()
+			if !strings.Contains(first, "alpha") {
+				t.Fatalf("error should name the lexically-first caller (alpha): %v", first)
+			}
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("error not deterministic on run %d: %q vs %q", i, first, err.Error())
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -83,8 +84,15 @@ func (a *asmState) run(src string) error {
 	if a.curFunc != "" {
 		return fmt.Errorf("%s: missing .endfunc for %s", a.prog.Name, a.curFunc)
 	}
-	// Resolve label references now that all labels are known.
-	for pc, p := range a.patches {
+	// Resolve label references now that all labels are known, in pc order
+	// so the first error reported for a broken program is deterministic.
+	pcs := make([]int, 0, len(a.patches))
+	for pc := range a.patches {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	for _, pc := range pcs {
+		p := a.patches[pc]
 		a.line = p.line
 		in := &a.prog.Code[pc]
 		switch p.kind {

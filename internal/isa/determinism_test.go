@@ -1,0 +1,93 @@
+package isa
+
+// Regression tests for the detlint findings fixed in the static-analysis
+// PR: every error message and rendering that used to depend on map
+// iteration order must now be byte-identical run after run.
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDisassembleCoLocatedLabels pins the rendering order of several labels
+// sharing one pc: sorted, and stable across repeated calls (the label lists
+// used to be built in map order).
+func TestDisassembleCoLocatedLabels(t *testing.T) {
+	prog := MustAssemble("colabels", `
+.text
+.func main
+top:
+start:
+    addi r1, r1, 1
+    halt
+.endfunc`)
+	first := prog.Disassemble()
+	if !strings.Contains(first, "start:\ntop:") {
+		t.Fatalf("co-located labels not rendered in sorted order:\n%s", first)
+	}
+	for i := 0; i < 50; i++ {
+		if got := prog.Disassemble(); got != first {
+			t.Fatalf("Disassemble not deterministic on run %d:\n--- first\n%s\n--- now\n%s", i, first, got)
+		}
+	}
+}
+
+// TestAssembleUndefinedLabelError pins which of several undefined labels the
+// assembler reports: always the one referenced at the lowest pc (patches
+// used to resolve in map order).
+func TestAssembleUndefinedLabelError(t *testing.T) {
+	const src = `
+.text
+.func main
+    beq r1, r0, missing2
+    beq r1, r0, missing1
+    halt
+.endfunc`
+	var first string
+	for i := 0; i < 50; i++ {
+		_, err := Assemble("undef", src)
+		if err == nil {
+			t.Fatal("expected undefined-label error")
+		}
+		if i == 0 {
+			first = err.Error()
+			if !strings.Contains(first, "missing2") {
+				t.Fatalf("error should name the lowest-pc reference (missing2): %v", first)
+			}
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("error not deterministic on run %d: %q vs %q", i, first, err.Error())
+		}
+	}
+}
+
+// TestValidateLoopBoundError pins which of several bad loop bounds Validate
+// reports: always the lowest pc (the bounds map used to be walked in map
+// order).
+func TestValidateLoopBoundError(t *testing.T) {
+	prog := MustAssemble("bounds", `
+.text
+.func main
+    addi r1, r1, 1
+    halt
+.endfunc`)
+	prog.LoopBounds = map[int]int{50: 4, 90: 2, 70: 1}
+	var first string
+	for i := 0; i < 50; i++ {
+		err := prog.Validate()
+		if err == nil {
+			t.Fatal("expected invalid-pc loop-bound error")
+		}
+		if i == 0 {
+			first = err.Error()
+			if !strings.Contains(first, "pc 50") {
+				t.Fatalf("error should name the lowest bad pc (50): %v", first)
+			}
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("error not deterministic on run %d: %q vs %q", i, first, err.Error())
+		}
+	}
+}

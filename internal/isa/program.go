@@ -112,12 +112,16 @@ func (p *Program) NumSubTasks() int { return len(p.Marks) }
 // Disassemble renders the whole program with labels, one instruction per
 // line, for debugging and for the analyzer's reports.
 func (p *Program) Disassemble() string {
-	labelAt := make(map[int][]string)
-	for name, pc := range p.Labels {
-		labelAt[pc] = append(labelAt[pc], name)
+	// Build the per-pc label lists from sorted names so co-located labels
+	// render in a deterministic order.
+	names := make([]string, 0, len(p.Labels))
+	for name := range p.Labels {
+		names = append(names, name)
 	}
-	for pc := range labelAt {
-		sort.Strings(labelAt[pc])
+	sort.Strings(names)
+	labelAt := make(map[int][]string)
+	for _, name := range names {
+		labelAt[p.Labels[name]] = append(labelAt[p.Labels[name]], name)
 	}
 	var b strings.Builder
 	for pc, in := range p.Code {
@@ -174,7 +178,15 @@ func (p *Program) Validate() error {
 			return fmt.Errorf("%s: marks out of order at %d", p.Name, i)
 		}
 	}
-	for pc, bound := range p.LoopBounds {
+	// Validate loop bounds in pc order: a program with several bad bounds
+	// must fail with the same error every run.
+	boundPCs := make([]int, 0, len(p.LoopBounds))
+	for pc := range p.LoopBounds {
+		boundPCs = append(boundPCs, pc)
+	}
+	sort.Ints(boundPCs)
+	for _, pc := range boundPCs {
+		bound := p.LoopBounds[pc]
 		if pc < 0 || pc >= n {
 			return fmt.Errorf("%s: loop bound at invalid pc %d", p.Name, pc)
 		}

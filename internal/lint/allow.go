@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression contract: a finding is silenced by
+//
+//	//visa:allow(analyzer): reason
+//	//visa:allow(a,b): reason      (several analyzers at once)
+//
+// placed either at the end of the flagged line or as a full-line comment on
+// the line immediately above it. The reason is mandatory — an allow without
+// one (or with an unparseable head) is reported as a finding of the
+// pseudo-analyzer "allow", so suppressions can never silently rot into
+// bare switches.
+
+var allowRE = regexp.MustCompile(`^//visa:allow\(([^)]*)\):\s*(.*)$`)
+
+// allowSet maps file:line to the analyzer names allowed there.
+type allowSet map[allowKey]map[string]bool
+
+type allowKey struct {
+	file string
+	line int
+}
+
+// collectAllows scans a package's comments for //visa:allow markers,
+// returning the suppression set and a finding for every malformed marker.
+func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
+	set := allowSet{}
+	var bad []Diagnostic
+	report := func(pos token.Position, msg string) {
+		bad = append(bad, Diagnostic{Pos: pos, Analyzer: "allow", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//visa:allow") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := allowRE.FindStringSubmatch(text)
+				if m == nil {
+					report(pos, "malformed //visa:allow; want //visa:allow(analyzer): reason")
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					report(pos, "//visa:allow needs a reason after the colon")
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				key := allowKey{file: pos.Filename, line: pos.Line}
+				if set[key] == nil {
+					set[key] = map[string]bool{}
+				}
+				any := false
+				for _, n := range names {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					set[key][n] = true
+					any = true
+				}
+				if !any {
+					report(pos, "//visa:allow names no analyzer")
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// suppresses reports whether d is covered by an allow on its own line or
+// the line directly above.
+func (s allowSet) suppresses(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if names, ok := s[allowKey{file: d.Pos.Filename, line: line}]; ok && names[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+// Package analysistest runs one lint analyzer over a golden testdata
+// package and checks its findings against `// want "regexp"` comments, the
+// same contract as golang.org/x/tools/go/analysis/analysistest:
+//
+//   - every diagnostic must be matched by a want regexp on its source line;
+//   - every want regexp must be matched by exactly one diagnostic.
+//
+// Suppressions participate: a fixture line with a valid //visa:allow and no
+// want comment asserts that the allow silences the finding.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"visa/internal/lint"
+)
+
+// wantRE extracts the quoted regexps of a want comment; patterns may be
+// double-quoted Go strings or backquoted raw strings:
+//
+//	// want "plain" `regex\.with\.escapes`
+var (
+	wantRE   = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+	quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads the package at pattern (relative to the calling test's working
+// directory), applies the analyzer through the full pipeline — including
+// //visa:allow suppression — and diffs findings against want comments.
+func Run(t *testing.T, a *lint.Analyzer, pattern string) {
+	t.Helper()
+	pkgs, err := lint.Load("", pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pattern, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no %s finding matched %q", w.file, w.line, a.Name, w.re)
+		}
+	}
+}
+
+// claim marks the first unused want on the diagnostic's line whose regexp
+// matches the message.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.used || w.line != d.Pos.Line || !sameFile(w.file, d.Pos.Filename) {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+func sameFile(a, b string) bool {
+	return a == b || strings.HasSuffix(a, "/"+b) || strings.HasSuffix(b, "/"+a)
+}

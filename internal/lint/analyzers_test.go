@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"visa/internal/lint"
+	"visa/internal/lint/analysistest"
+)
+
+func TestDetLint(t *testing.T) {
+	analysistest.Run(t, lint.DetLint, "./testdata/src/detlint")
+}
+
+func TestSeedLint(t *testing.T) {
+	analysistest.Run(t, lint.SeedLint, "./testdata/src/seedlint")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, lint.HotAlloc, "./testdata/src/hotalloc")
+}
+
+func TestErrLint(t *testing.T) {
+	analysistest.Run(t, lint.ErrLint, "./testdata/src/errlint")
+}

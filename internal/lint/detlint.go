@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetLint flags nondeterminism sources that can leak into simulator or
+// report output and break the byte-identical-for-any-j contract:
+//
+//   - ranging over a map with an order-sensitive body (anything beyond
+//     collecting keys/values for a later sort, commutative accumulation,
+//     or keyed writes into another map);
+//   - time.Now / time.Since — wall-clock time has no place in a
+//     deterministic simulation or its reports;
+//   - package-level math/rand functions, which draw from the process-global
+//     source (explicit sources are seedlint's business).
+var DetLint = &Analyzer{
+	Name: "detlint",
+	Doc:  "flags nondeterminism sources: order-sensitive map iteration, wall-clock time, the global math/rand source",
+	Run:  runDetLint,
+}
+
+// globalRandFns are the math/rand package-level functions that draw from
+// the shared global source.
+var globalRandFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+func runDetLint(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn == nil {
+					return true
+				}
+				switch pkgPathOf(fn) {
+				case "time":
+					if fn.Name() == "Now" || fn.Name() == "Since" {
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock; derive times from the simulated clock or plan metadata", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && globalRandFns[fn.Name()] {
+						pass.Reportf(n.Pos(), "rand.%s draws from the process-global source; use an explicit seeded source", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if !orderInsensitiveBody(pass.Info, n) {
+					pass.Reportf(n.Pos(), "map iteration order is nondeterministic and this body is order-sensitive; collect and sort the keys first")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// orderInsensitiveBody reports whether a range-over-map body is safe under
+// arbitrary iteration order. Accepted statement shapes (recursively, through
+// if/else and nested blocks):
+//
+//   - s = append(s, ...) — the collect-then-sort idiom;
+//   - commutative accumulation: x += e, x -= e, x *= e, x |= e, x &= e,
+//     x ^= e, x++, x--;
+//   - keyed writes into another map indexed by the range key variable
+//     (each iteration touches a distinct key), and delete(m, k);
+//   - continue.
+//
+// Everything else — emitting output, appending values that are used
+// unsorted, calling arbitrary functions — is assumed order-sensitive.
+func orderInsensitiveBody(info *types.Info, rng *ast.RangeStmt) bool {
+	keyIdent, _ := rng.Key.(*ast.Ident)
+	var ok func(stmt ast.Stmt) bool
+	ok = func(stmt ast.Stmt) bool {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			return orderInsensitiveAssign(info, s, keyIdent)
+		case *ast.IncDecStmt:
+			return true
+		case *ast.BranchStmt:
+			return s.Tok == token.CONTINUE
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				if !ok(st) {
+					return false
+				}
+			}
+			return true
+		case *ast.IfStmt:
+			if s.Init != nil && !ok(s.Init) {
+				return false
+			}
+			if !ok(s.Body) {
+				return false
+			}
+			return s.Else == nil || ok(s.Else)
+		case *ast.ExprStmt:
+			// delete(m, k) is the only order-insensitive call statement.
+			if call, isCall := s.X.(*ast.CallExpr); isCall {
+				if id, isIdent := call.Fun.(*ast.Ident); isIdent {
+					if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "delete" {
+						return true
+					}
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return ok(rng.Body)
+}
+
+func orderInsensitiveAssign(info *types.Info, s *ast.AssignStmt, key *ast.Ident) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return true
+	case token.ASSIGN:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		// s = append(s, ...): collecting for a later sort.
+		if call, isCall := s.Rhs[0].(*ast.CallExpr); isCall && len(call.Args) > 0 {
+			if id, isIdent := call.Fun.(*ast.Ident); isIdent {
+				if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "append" {
+					if sameIdent(s.Lhs[0], call.Args[0]) {
+						return true
+					}
+				}
+			}
+		}
+		// m[k] = v keyed by the range key: distinct key per iteration.
+		if ix, isIx := s.Lhs[0].(*ast.IndexExpr); isIx && key != nil {
+			if id, isIdent := ix.Index.(*ast.Ident); isIdent {
+				if info.Uses[id] != nil && info.Uses[id] == info.Defs[key] {
+					return true
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func sameIdent(a, b ast.Expr) bool {
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	return aok && bok && ai.Name == bi.Name
+}
+
+// calleeFunc resolves the *types.Func a call statically invokes, or nil for
+// builtins, conversions, function values, and interface methods on unknown
+// dynamic types (interface methods still resolve — to the interface method
+// object — which is what callers want for package-path checks).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pkgPathOf returns the import path of the package declaring fn, or "".
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

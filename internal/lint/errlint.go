@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrLint flags call statements in library (internal/...) packages that
+// silently discard a returned error. The engine's crash-proofing contract
+// (PR 4) depends on errors propagating to the worker pool; a dropped error
+// in a library package is a silent degradation path.
+//
+// Exempt by construction:
+//   - deferred calls (the `defer f.Close()` idiom);
+//   - fmt.Print/Printf/Println to stdout, and fmt.Fprint* into writers
+//     that cannot fail (*bytes.Buffer, *strings.Builder);
+//   - methods of *bytes.Buffer and *strings.Builder themselves (their
+//     error results are documented always-nil).
+//
+// Anything else needs handling, an explicit `_ =` with intent, or a
+// //visa:allow(errlint) with a reason.
+var ErrLint = &Analyzer{
+	Name: "errlint",
+	Doc:  "flags silently discarded errors in internal/ library packages",
+	Run:  runErrLint,
+}
+
+func runErrLint(pass *Pass) error {
+	if !strings.Contains(pass.Path, "internal/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass.Info, call) || errExempt(pass.Info, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "call discards its error result; handle it, assign it, or justify with //visa:allow")
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's result type is or contains error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// errExempt reports whether the call is one of the cannot-meaningfully-fail
+// shapes errlint tolerates.
+func errExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	// Methods of infallible writers.
+	if sig != nil && sig.Recv() != nil {
+		if isInfallibleWriter(sig.Recv().Type()) {
+			return true
+		}
+		return false
+	}
+	if pkgPathOf(fn) != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		if len(call.Args) > 0 {
+			if t := typeOf(info, call.Args[0]); t != nil && isInfallibleWriter(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isInfallibleWriter reports whether t is *bytes.Buffer or
+// *strings.Builder, whose Write/WriteString/Fprint error results are
+// documented always-nil.
+func isInfallibleWriter(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "bytes" && name == "Buffer") ||
+		(path == "strings" && name == "Builder")
+}

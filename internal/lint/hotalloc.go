@@ -1,0 +1,321 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc flags heap-allocation sites inside per-cycle code: functions
+// marked //visa:hotpath plus every same-package function they directly
+// call. The ROADMAP-1 rewrites make the cycle loops allocation-free; this
+// analyzer is the guardrail that keeps them that way. Flagged shapes:
+//
+//   - make / new
+//   - append (may grow; pre-sized appends need a //visa:allow with the
+//     sizing argument)
+//   - &composite literals and slice/map literals (escape candidates)
+//   - interface boxing at call arguments, assignments, and returns
+//     (includes every fmt call with non-interface operands)
+//   - closures (captured variables allocate)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//
+// The marker goes on the function's doc comment:
+//
+//	//visa:hotpath
+//	func (p *Pipeline) Feed(d *exec.DynInst) int64 { ... }
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags heap-allocation sites in //visa:hotpath functions and their direct callees",
+	Run:  runHotAlloc,
+}
+
+// HotpathMarker is the doc-comment line that marks a per-cycle function.
+const HotpathMarker = "//visa:hotpath"
+
+func runHotAlloc(pass *Pass) error {
+	decls := map[types.Object]*ast.FuncDecl{}
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+			if hasHotpathMarker(fd) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+
+	// hot maps each function to scan to its attribution label. Roots first,
+	// then their direct same-package callees (one level: the contract is
+	// that a hotpath function's own helpers are per-cycle too; anything
+	// deeper should carry its own marker).
+	type hotFn struct {
+		decl  *ast.FuncDecl
+		label string
+	}
+	var hot []hotFn
+	seen := map[*ast.FuncDecl]bool{}
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			hot = append(hot, hotFn{r, fmt.Sprintf("hotpath %s", declName(r))})
+		}
+	}
+	for _, r := range roots {
+		ast.Inspect(r.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			if d, ok := decls[fn]; ok && !seen[d] {
+				seen[d] = true
+				hot = append(hot, hotFn{d, fmt.Sprintf("%s (called from hotpath %s)", declName(d), declName(r))})
+			}
+			return true
+		})
+	}
+
+	for _, h := range hot {
+		scanAllocs(pass, h.decl, h.label)
+	}
+	return nil
+}
+
+// hasHotpathMarker reports whether the function's doc comment contains the
+// //visa:hotpath marker line.
+func hasHotpathMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), HotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// declName renders a function's name with its receiver, e.g.
+// "(*Pipeline).Feed".
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var b strings.Builder
+	switch t := fd.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			fmt.Fprintf(&b, "(*%s)", id.Name)
+		}
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	}
+	if b.Len() == 0 {
+		return fd.Name.Name
+	}
+	return b.String() + "." + fd.Name.Name
+}
+
+// scanAllocs reports every allocation-shaped site in one hot function.
+func scanAllocs(pass *Pass, fd *ast.FuncDecl, label string) {
+	info := pass.Info
+	sig, _ := info.Defs[fd.Name].Type().(*types.Signature)
+	report := func(n ast.Node, format string, args ...any) {
+		pass.Reportf(n.Pos(), "in %s: %s", label, fmt.Sprintf(format, args...))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			scanCallAllocs(pass, n, report)
+		case *ast.FuncLit:
+			report(n, "closure allocates (captured variables escape)")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n, "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok {
+				break
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				report(n, "slice literal allocates")
+			case *types.Map:
+				report(n, "map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				// Constant concatenations fold at compile time.
+				if tv, ok := info.Types[n]; ok && isString(tv.Type) && tv.Value == nil {
+					report(n, "string concatenation allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			scanAssignBoxing(pass, n, report)
+		case *ast.ValueSpec:
+			scanSpecBoxing(pass, n, report)
+		case *ast.ReturnStmt:
+			if sig == nil || len(n.Results) != sig.Results().Len() {
+				break
+			}
+			for i, res := range n.Results {
+				if boxes(info, sig.Results().At(i).Type(), res) {
+					report(res, "return boxes %s into interface %s", typeOf(info, res), sig.Results().At(i).Type())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanCallAllocs flags allocating builtins, allocating conversions, and
+// interface boxing at call arguments.
+func scanCallAllocs(pass *Pass, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	info := pass.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call, "make allocates")
+			case "new":
+				report(call, "new allocates")
+			case "append":
+				report(call, "append may grow and allocate; pre-size the backing array or justify with //visa:allow")
+			}
+			return
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() && len(call.Args) == 1 {
+		// Conversion: string<->[]byte/[]rune copies into a fresh allocation.
+		to, from := tv.Type, typeOf(info, call.Args[0])
+		if from != nil && ((isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))) {
+			report(call, "%s(%s) conversion allocates", to, from)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil {
+			continue
+		}
+		if boxes(info, pt, arg) {
+			report(arg, "argument boxes %s into interface %s", typeOf(info, arg), pt)
+		}
+	}
+}
+
+func scanAssignBoxing(pass *Pass, s *ast.AssignStmt, report func(ast.Node, string, ...any)) {
+	// Only plain assignments can box: x := e infers x's type from e, and
+	// op-assigns never target interfaces.
+	if s.Tok.String() != "=" || len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	info := pass.Info
+	for i, lhs := range s.Lhs {
+		lt := typeOf(info, lhs)
+		if lt == nil {
+			continue
+		}
+		if boxes(info, lt, s.Rhs[i]) {
+			report(s.Rhs[i], "assignment boxes %s into interface %s", typeOf(info, s.Rhs[i]), lt)
+		}
+	}
+}
+
+func scanSpecBoxing(pass *Pass, spec *ast.ValueSpec, report func(ast.Node, string, ...any)) {
+	if spec.Type == nil || len(spec.Values) == 0 {
+		return
+	}
+	info := pass.Info
+	tv, ok := info.Types[spec.Type]
+	if !ok {
+		return
+	}
+	for _, v := range spec.Values {
+		if boxes(info, tv.Type, v) {
+			report(v, "declaration boxes %s into interface %s", typeOf(info, v), tv.Type)
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a target of type dst is an
+// interface-boxing conversion (concrete, non-nil operand into an interface
+// type).
+func boxes(info *types.Info, dst types.Type, expr ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	if tv.Type == nil {
+		return false
+	}
+	_, srcIface := tv.Type.Underlying().(*types.Interface)
+	return !srcIface
+}
+
+// paramType resolves the static type of argument i, unrolling variadics
+// (unless the call spreads a slice with ...).
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && !ellipsis && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if sl, ok := last.Underlying().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

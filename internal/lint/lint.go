@@ -1,0 +1,154 @@
+// Package lint is the repo's static-analysis suite: a small, dependency-free
+// reimplementation of the go/analysis vocabulary (Analyzer, Pass, Diagnostic)
+// plus four analyzers that turn the repo's two load-bearing dynamic
+// guarantees — byte-identical deterministic output for any -j, and simple
+// pipelines that never exceed their static timing bound — into
+// machine-checked source properties:
+//
+//   - detlint:  nondeterminism sources (unsorted map iteration with an
+//     order-sensitive body, wall-clock time.Now/time.Since, the global
+//     math/rand source)
+//   - seedlint: every explicit rand source must be seeded from the
+//     splitmix64 / fault.DeriveSeed idiom or a named seed
+//   - hotalloc: heap-allocation sites inside //visa:hotpath functions and
+//     the functions they directly call
+//   - errlint:  silently discarded errors in library (internal/...) packages
+//
+// Findings are suppressed line-by-line with
+//
+//	//visa:allow(analyzer): reason
+//
+// on the flagged line or the line above; the reason is mandatory, and a
+// malformed allow comment is itself a finding. cmd/visavet runs the suite
+// over package patterns (make tier-lint gates the repo on zero unsuppressed
+// findings).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis so the
+// analyzers could be ported to a real multichecker verbatim; it exists
+// because this module carries no external dependencies.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //visa:allow(name) suppressions.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer flags.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass presents one package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Path is the package's import path (e.g. "visa/internal/rt").
+	Path string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{DetLint, SeedLint, HotAlloc, ErrLint}
+}
+
+// ByName resolves a comma-separated analyzer selection.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every package, filters the findings through
+// the //visa:allow suppressions, and returns the survivors in stable
+// (file, line, column, analyzer) order. Malformed suppression comments are
+// returned as findings of the pseudo-analyzer "allow".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.ImportPath,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		allows, bad := collectAllows(pkg)
+		for _, d := range diags {
+			if !allows.suppresses(d) {
+				all = append(all, d)
+			}
+		}
+		all = append(all, bad...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}

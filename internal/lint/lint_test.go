@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFixture builds a comment-bearing pseudo-package around src for
+// allow-parsing tests (no type checking needed).
+func parseFixture(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{ImportPath: "fix", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestAllowParsing(t *testing.T) {
+	pkg := parseFixture(t, `package fix
+
+//visa:allow(detlint): sorted downstream
+var a int
+
+//visa:allow(detlint, hotalloc): two analyzers at once
+var b int
+`)
+	set, bad := collectAllows(pkg)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-allow findings: %v", bad)
+	}
+	if !set[allowKey{file: "fix.go", line: 3}]["detlint"] {
+		t.Errorf("line 3 should allow detlint")
+	}
+	k := allowKey{file: "fix.go", line: 6}
+	if !set[k]["detlint"] || !set[k]["hotalloc"] {
+		t.Errorf("line 6 should allow both detlint and hotalloc, got %v", set[k])
+	}
+}
+
+func TestAllowMalformed(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"//visa:allow(detlint)", "malformed //visa:allow"},
+		{"//visa:allow(detlint):", "needs a reason"},
+		{"//visa:allow(detlint):   ", "needs a reason"},
+		{"//visa:allow(): because", "names no analyzer"},
+		{"//visa:allow detlint: because", "malformed //visa:allow"},
+	}
+	for _, c := range cases {
+		pkg := parseFixture(t, "package fix\n\n"+c.src+"\nvar a int\n")
+		_, bad := collectAllows(pkg)
+		if len(bad) != 1 || !strings.Contains(bad[0].Message, c.want) {
+			t.Errorf("%q: want one finding containing %q, got %v", c.src, c.want, bad)
+		}
+	}
+}
+
+func TestAllowSuppresses(t *testing.T) {
+	set := allowSet{
+		{file: "x.go", line: 10}: {"detlint": true},
+	}
+	diag := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: "x.go", Line: line},
+			Analyzer: analyzer,
+		}
+	}
+	if !set.suppresses(diag(10, "detlint")) {
+		t.Errorf("same-line allow should suppress")
+	}
+	if !set.suppresses(diag(11, "detlint")) {
+		t.Errorf("line-above allow should suppress")
+	}
+	if set.suppresses(diag(12, "detlint")) {
+		t.Errorf("allow two lines up should not suppress")
+	}
+	if set.suppresses(diag(10, "hotalloc")) {
+		t.Errorf("allow for another analyzer should not suppress")
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName([]string{"detlint", "errlint"})
+	if err != nil || len(as) != 2 || as[0].Name != "detlint" || as[1].Name != "errlint" {
+		t.Fatalf("ByName(detlint,errlint) = %v, %v", as, err)
+	}
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Fatalf("ByName(nope) should error")
+	}
+}
+
+// TestLoadRepoPackage exercises the go-list loader on a real module
+// package and sanity-checks that type information resolved.
+func TestLoadRepoPackage(t *testing.T) {
+	pkgs, err := Load("", "visa/internal/isa")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "visa/internal/isa" {
+		t.Fatalf("Load returned %+v", pkgs)
+	}
+	p := pkgs[0]
+	if p.Types == nil || len(p.Files) == 0 || len(p.Info.Defs) == 0 {
+		t.Fatalf("package not fully type-checked: %+v", p)
+	}
+}

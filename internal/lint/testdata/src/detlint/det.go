@@ -1,0 +1,77 @@
+// Package det is the detlint golden fixture: nondeterminism sources that
+// must be flagged, order-insensitive shapes that must not, and suppressed
+// findings that must stay silent.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Emit leaks map iteration order into output: flagged.
+func Emit(m map[string]int) {
+	for k, v := range m { // want "map iteration order is nondeterministic"
+		fmt.Println(k, v)
+	}
+}
+
+// CollectSorted uses the collect-then-sort idiom: clean.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Accumulate folds commutatively: clean.
+func Accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Rekey writes a distinct key per iteration: clean.
+func Rekey(m map[string]int, dst map[string]int) {
+	for k, v := range m {
+		if v > 0 {
+			dst[k] = v
+		}
+	}
+}
+
+// Wallclock reads wall-clock time: both calls flagged.
+func Wallclock() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// GlobalRand draws from the process-global source: flagged.
+func GlobalRand() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global source`
+}
+
+// SeededRand uses an explicit source: clean for detlint (seedlint judges
+// the seed expression).
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Suppressed demonstrates the //visa:allow contract: no finding escapes.
+func Suppressed(m map[string]int) {
+	//visa:allow(detlint): fixture exercising suppression; output order does not matter here
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// TrailingSuppressed allows on the flagged line itself.
+func TrailingSuppressed() time.Time {
+	return time.Now() //visa:allow(detlint): fixture exercising trailing suppression
+}

@@ -1,0 +1,50 @@
+// Package errs is the errlint golden fixture: discarded errors in library
+// packages are flagged; the documented can't-fail shapes are not.
+package errs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+// Discards drops errors silently: flagged.
+func Discards(w io.Writer, f *os.File) {
+	fallible()          // want "call discards its error result"
+	pair()              // want "call discards its error result"
+	fmt.Fprintf(w, "x") // want "call discards its error result"
+	f.Close()           // want "call discards its error result"
+}
+
+// Handled consumes its errors: clean.
+func Handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	_, err := pair()
+	return err
+}
+
+// Exempt shapes: deferred closes, stdout prints, infallible writers.
+func Exempt(f *os.File) string {
+	defer f.Close()
+	fmt.Println("status")
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "x=%d", 1)
+	b.WriteString("tail")
+	var sb strings.Builder
+	sb.WriteString("y")
+	fmt.Fprintln(&sb, "z")
+	return b.String() + sb.String()
+}
+
+// Suppressed demonstrates the //visa:allow contract.
+func Suppressed() {
+	fallible() //visa:allow(errlint): fixture — best-effort cleanup, failure is benign
+}

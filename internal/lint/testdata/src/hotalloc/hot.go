@@ -1,0 +1,76 @@
+// Package hot is the hotalloc golden fixture: allocation sites inside
+// //visa:hotpath functions and their direct callees are flagged; the same
+// shapes in unmarked functions are not.
+package hot
+
+import "fmt"
+
+type sim struct {
+	buf   []int64
+	trace []string
+}
+
+// Cycle is a marked per-cycle function: every allocation shape flags.
+//
+//visa:hotpath
+func Cycle(s *sim, n int) {
+	m := make([]int64, n) // want "in hotpath Cycle: make allocates"
+	_ = m
+	p := new(sim) // want "in hotpath Cycle: new allocates"
+	_ = p
+	s.buf = append(s.buf, 1)     // want "append may grow and allocate"
+	f := func() int { return n } // want "closure allocates"
+	_ = f()
+	q := &sim{} // want "&composite literal escapes to the heap"
+	_ = q
+	sl := []int{1, 2} // want "slice literal allocates"
+	_ = sl
+	fmt.Println(n) // want `argument boxes int into interface`
+	s.step(n)
+	helper(s)
+}
+
+// step is a method called directly from the hotpath: scanned too.
+func (s *sim) step(n int) {
+	s.trace = append(s.trace, "x") // want `in \(\*sim\)\.step \(called from hotpath Cycle\): append may grow`
+}
+
+// helper is a plain function called directly from the hotpath. The
+// constant concatenation is folded at compile time and must not flag.
+func helper(s *sim) {
+	name := "a" + "b"
+	_ = name
+	var x any
+	x = s // want `assignment boxes .*\.sim into interface`
+	_ = x
+}
+
+// Cold has the same shapes but no marker and no hot caller: clean.
+func Cold(s *sim, n int) {
+	_ = make([]int64, n)
+	_ = new(sim)
+	s.buf = append(s.buf, 1)
+	_ = &sim{}
+	fmt.Println(n)
+}
+
+// Concat returns a concatenation inside the hotpath.
+//
+//visa:hotpath
+func Concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// Convert flags string/byte conversions inside the hotpath.
+//
+//visa:hotpath
+func Convert(s string) []byte {
+	return []byte(s) // want `conversion allocates`
+}
+
+// Presized demonstrates a justified suppression.
+//
+//visa:hotpath
+func Presized(s *sim, v int64) {
+	s.buf = append(s.buf, v) //visa:allow(hotalloc): fixture — ring is pre-sized at construction
+}

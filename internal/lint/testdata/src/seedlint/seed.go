@@ -1,0 +1,44 @@
+// Package seed is the seedlint golden fixture: rand sources must be seeded
+// from the DeriveSeed/splitmix64 idiom, a named seed, or a pinned literal.
+package seed
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// deriveSeed stands in for fault.DeriveSeed in this fixture.
+func deriveSeed(base uint64, parts ...uint64) uint64 { return base + uint64(len(parts)) }
+
+// opaque is a seed-laundering helper the analyzer must not trust.
+func opaque() int64 { return time.Now().UnixNano() }
+
+// Good shapes: pinned literal, named seed, derivation calls, arithmetic
+// over good parts.
+func Good(seed int64, seeds []uint64) *rand.Rand {
+	_ = rand.New(rand.NewSource(1))
+	_ = rand.New(rand.NewSource(seed))
+	_ = rand.New(rand.NewSource(seed*2 + 1))
+	_ = rand.New(rand.NewSource(int64(deriveSeed(uint64(seed), 3))))
+	return rand.New(rand.NewSource(int64(seeds[0])))
+}
+
+// Bad shapes: wall-clock and otherwise opaque seed expressions.
+func Bad(n int64) {
+	_ = rand.NewSource(time.Now().UnixNano()) // want "rand source seeded from an opaque expression"
+	_ = rand.NewSource(opaque())              // want "rand source seeded from an opaque expression"
+	_ = rand.NewSource(n)                     // want "rand source seeded from an opaque expression"
+	_ = rand.NewSource(int64(os.Getpid()))    // want "rand source seeded from an opaque expression"
+}
+
+// Mixed poisons the whole expression: one good part does not launder an
+// opaque one.
+func Mixed(seed int64) {
+	_ = rand.NewSource(seed + opaque()) // want "rand source seeded from an opaque expression"
+}
+
+// Suppressed demonstrates the //visa:allow contract.
+func Suppressed(n int64) {
+	_ = rand.NewSource(n) //visa:allow(seedlint): fixture exercising suppression
+}

@@ -249,7 +249,7 @@ func (o *occTracker) earliest() int64 {
 
 // add records a new entry's free-time.
 func (o *occTracker) add(t int64) {
-	o.h = append(o.h, t)
+	o.h = append(o.h, t) //visa:allow(hotalloc): heap is pre-sized to size+1 in newOccTracker and bounded by the pop below
 	// sift up
 	i := len(o.h) - 1
 	for i > 0 {
@@ -462,7 +462,7 @@ func (p *Pipeline) Rebase(cycle int64) {
 // thread returns (creating if needed) hardware-thread tid's context.
 func (p *Pipeline) thread(tid int) *threadCtx {
 	for len(p.th) <= tid {
-		p.th = append(p.th, newThreadCtx(p.th[0].lastRetire))
+		p.th = append(p.th, newThreadCtx(p.th[0].lastRetire)) //visa:allow(hotalloc): one-time hardware-thread-context creation, not per-cycle
 	}
 	return p.th[tid]
 }
@@ -522,6 +522,8 @@ func (p *Pipeline) TakeActivity() power.Activity {
 
 // Feed times one dynamic instruction of the hard real-time thread
 // (thread 0) and returns its retire cycle.
+//
+//visa:hotpath
 func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 	rt, _ := p.FeedThread(0, d) // thread 0 cannot trigger IdledThreadError
 	return rt
@@ -536,10 +538,12 @@ func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 // order. In simple mode only thread 0 may execute: the paper idles the
 // other threads without context-switching them out (§1.1); feeding one
 // anyway returns an IdledThreadError.
+//
+//visa:hotpath
 func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) (int64, error) {
 	if p.mode == ModeSimple {
 		if tid != 0 {
-			return 0, &IdledThreadError{Tid: tid, Cycle: p.simple.Now()}
+			return 0, &IdledThreadError{Tid: tid, Cycle: p.simple.Now()} //visa:allow(hotalloc): error path, fires at most once per idled feed
 		}
 		p.Stats.SimpleModeRetired++
 		return p.simple.Feed(d), nil
@@ -712,9 +716,14 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) (int64, error) {
 		t.fpReady[in.Rd] = ready
 	}
 	if isMem && in.Op.Class() == isa.ClassStore {
-		t.stores = append(t.stores, storeRec{p.DCache.Block(d.Addr), ct})
+		// Compact in place rather than re-slicing off the front: stores[1:]
+		// would strand capacity and make this append reallocate every
+		// LSQSize stores forever; copy-down keeps the backing array stable
+		// after the warmup growth to LSQSize+1 entries.
+		t.stores = append(t.stores, storeRec{p.DCache.Block(d.Addr), ct}) //visa:allow(hotalloc): grows only during warmup to LSQSize+1, then the backing array is stable
 		if len(t.stores) > cfg.LSQSize {
-			t.stores = t.stores[1:]
+			copy(t.stores, t.stores[1:])
+			t.stores = t.stores[:cfg.LSQSize]
 		}
 	}
 

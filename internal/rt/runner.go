@@ -62,6 +62,10 @@ func (ps *procSim) now() int64 {
 	return ps.sp.Now()
 }
 
+// feed times one dynamic instruction on whichever pipeline this procSim
+// wraps.
+//
+//visa:hotpath
 func (ps *procSim) feed(d *exec.DynInst) int64 {
 	if ps.cx != nil {
 		return ps.cx.Feed(d)

@@ -55,6 +55,8 @@ func newBGThread(prog *isa.Program) *bgThread {
 
 // step produces the next background instruction, restarting the program
 // when it halts (an endless supply of non-real-time work).
+//
+//visa:hotpath
 func (bg *bgThread) step() (exec.DynInst, error) {
 	for {
 		d, ok, err := bg.m.Step()
@@ -226,6 +228,8 @@ func RunSMT(s *Setup, cfg Config, bgProg *isa.Program) (*SMTResult, error) {
 
 // profileNoReset feeds the already-reset machine through the pipeline
 // without resetting architectural state (helper for RunSMT's baseline).
+//
+//visa:hotpath
 func (ps *procSim) profileNoReset() (int64, error) {
 	for {
 		d, ok, err := ps.machine.Step()

@@ -1,0 +1,57 @@
+package simple
+
+import (
+	"testing"
+
+	"visa/internal/cache"
+	"visa/internal/clab"
+	"visa/internal/exec"
+	"visa/internal/memsys"
+)
+
+// benchStream pre-executes a clab benchmark through the functional machine
+// so the timed loop below measures only the pipeline Feed hotpath, not
+// instruction semantics.
+func benchStream(b *testing.B, name string) []exec.DynInst {
+	b.Helper()
+	bm := clab.ByName(name)
+	if bm == nil {
+		b.Fatalf("unknown clab benchmark %q", name)
+	}
+	prog, err := bm.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := exec.New(prog)
+	var stream []exec.DynInst
+	for {
+		d, ok, err := m.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			return stream
+		}
+		stream = append(stream, d)
+	}
+}
+
+// BenchmarkPipelineFeed replays a pre-traced program through the in-order
+// pipeline. One op is one full program pass; allocs/op is the number the
+// hotalloc analyzer guards — it must stay at zero once caches and windows
+// have warmed up (ROADMAP-1).
+func BenchmarkPipelineFeed(b *testing.B) {
+	stream := benchStream(b, "cnt")
+	ic, dc := cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1)
+	p := New(ic, dc, memsys.NewBus(memsys.Default, 1000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Rebase(0)
+		for j := range stream {
+			d := stream[j]
+			p.Feed(&d)
+		}
+	}
+	b.ReportMetric(float64(len(stream)), "insts/op")
+}

@@ -279,6 +279,8 @@ func (p *Pipeline) TakeActivity() power.Activity {
 
 // Feed advances the pipeline by one dynamic instruction and returns its
 // retire (writeback-complete) cycle.
+//
+//visa:hotpath
 func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 	in := d.Inst
 

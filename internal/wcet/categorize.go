@@ -93,6 +93,7 @@ func categorize(g *cfg.Graph, cc cache.Config) []ICat {
 
 	fits := func(set map[uint32]bool) bool {
 		perSet := map[uint32]int{}
+		//visa:allow(detlint): commutative multiset count; the verdict is order-independent
 		for b := range set {
 			perSet[setOf(b)]++
 			if perSet[setOf(b)] > cc.Assoc {
@@ -110,6 +111,7 @@ func categorize(g *cfg.Graph, cc cache.Config) []ICat {
 		loopFits := make([]bool, len(fg.Loops))
 		for _, l := range fg.Loops {
 			set := map[uint32]bool{}
+			//visa:allow(detlint): set union; the resulting working set is order-independent
 			for bid := range l.Blocks {
 				b := fg.Blocks[bid]
 				for pc := b.Start; pc < b.End; pc++ {

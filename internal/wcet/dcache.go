@@ -92,6 +92,7 @@ func (a *Analyzer) UseStaticDCache() (StaticDCacheResult, error) {
 	}
 
 	res.Fits = true
+	//visa:allow(detlint): commutative sum and a monotone flag; order-independent
 	for _, blocks := range perSet {
 		res.Blocks += int64(len(blocks))
 		if len(blocks) > a.CacheCfg.Assoc {
@@ -147,6 +148,7 @@ func (a *Analyzer) worstStackBytes() (int, error) {
 	main, ok := memo["main"]
 	if !ok {
 		// No main: take the worst function (library-style analysis).
+		//visa:allow(detlint): max over values; order-independent
 		for _, v := range memo {
 			if v > main {
 				main = v

@@ -2,6 +2,7 @@ package wcet
 
 import (
 	"fmt"
+	"sort"
 
 	"visa/internal/cfg"
 	"visa/internal/isa"
@@ -200,9 +201,16 @@ func (e *enumerator) loopExitTargets(l *cfg.Loop) []int {
 }
 
 func (e *enumerator) exitTargets(l *cfg.Loop, prune bool) []int {
+	// Walk the loop's blocks in sorted order: the returned target list
+	// seeds path enumeration, which must be deterministic.
+	bids := make([]int, 0, len(l.Blocks))
+	for bid := range l.Blocks {
+		bids = append(bids, bid)
+	}
+	sort.Ints(bids)
 	seen := map[int]bool{}
 	var out []int
-	for bid := range l.Blocks {
+	for _, bid := range bids {
 		for _, s := range e.fg.Blocks[bid].Succs {
 			if l.Blocks[s] || seen[s] {
 				continue

@@ -92,6 +92,7 @@ func (a *Analyzer) dataAccessRanges() ([]byteRange, bool) {
 		if fr == nil {
 			continue
 		}
+		//visa:allow(detlint): the ranges feed a set union of touched blocks; order-independent
 		for _, acc := range fr.Addrs {
 			ad := acc.Addr
 			if ad.SPRel {
