@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-all vet fmt-check race test bench-engine bench-json clean
+.PHONY: all build tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs tier-all vet fmt-check race test bench-engine bench-json clean
 
 all: build
 
@@ -58,22 +58,36 @@ tier-lint:
 	$(GO) test ./internal/lint/...
 	$(GO) run ./cmd/visavet ./...
 
+# Tier obs: the observability gate — the obs package's full suite
+# (coalescing-sink algebra, crash/restart idempotence, histograms, CSV
+# schema errors, profiling scopes), the rt-level coalesced-campaign
+# determinism tests (byte-identical -j 1 vs -j 8), the binary-level
+# profiling/coalescing checks, and the sink-scaling benchmarks run as
+# tests (one iteration — scaling regressions fail loudly in bench-json).
+tier-obs:
+	$(GO) test ./internal/obs/
+	$(GO) test -run 'TestCoalesced|TestObs' ./internal/rt/
+	$(GO) test ./cmd/experiments/
+	$(GO) test -run '^$$' -bench 'Coalescing|PerEventRecordWrite' -benchtime 100x -benchmem ./internal/obs/
+
 # Tier all: every gate in one invocation.
-tier-all: tier1 tier2 tier-race tier-fault tier-conform tier-lint
+tier-all: tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs
 
 # Records the serial-vs-parallel wall-clock of the full evaluation
 # (`experiments -all -n 20` equivalent; see bench_test.go).
 bench-engine:
 	$(GO) test -run '^$$' -bench 'BenchmarkExperimentsAll' -benchtime 1x .
 
-# Regenerates BENCH_6.json: the committed benchmark record (name, ns/op,
+# Regenerates BENCH_7.json: the committed benchmark record (name, ns/op,
 # B/op, allocs/op) covering the evaluation-level engine benchmarks (one
-# shot each — they run whole experiment tables) and the per-cycle pipeline
-# Feed kernels whose allocs/op the hotalloc analyzer guards.
+# shot each — they run whole experiment tables), the per-cycle pipeline
+# Feed kernels whose allocs/op the hotalloc analyzer guards, and the
+# coalescing-sink hot path (Add must stay 0 allocs/op at wide thresholds).
 bench-json:
 	( $(GO) test -run '^$$' -bench 'Table3|Figure|FunctionalExecutor|SimplePipeline|ComplexPipeline|WCETAnalysis' -benchtime 1x -benchmem . && \
-	  $(GO) test -run '^$$' -bench 'PipelineFeed' -benchmem ./internal/simple/ ./internal/ooo/ ) \
-	  | $(GO) run ./cmd/benchjson -o BENCH_6.json
+	  $(GO) test -run '^$$' -bench 'PipelineFeed' -benchmem ./internal/simple/ ./internal/ooo/ && \
+	  $(GO) test -run '^$$' -bench 'Coalescing|PerEventRecordWrite' -benchmem ./internal/obs/ ) \
+	  | $(GO) run ./cmd/benchjson -o BENCH_7.json
 
 test: tier1
 

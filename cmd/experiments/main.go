@@ -22,10 +22,25 @@
 // I1-I4 (see internal/conform). A violating program fails its job with a
 // minimized reproducer replayable via `visasim -conform -gen <seed>`.
 //
+// With -coalesce, counter-shaped metrics traffic (per-instance fault and
+// watchdog events, per-program conformance scalars) is routed through a
+// coalescing sink (VSA S/Δ accumulator, see internal/obs): deltas
+// accumulate in memory per key and only the net effect is flushed as
+// kind:"counter.flush" records, so the durable stream scales with the
+// number of distinct series instead of the number of events. Distributions
+// survive as kind:"hist" records (fixed-boundary histograms of watchdog
+// margins, switch drains, instance latency, and deadline slack). Output
+// stays byte-identical for any -j.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the whole run;
+// -pprof serves net/http/pprof live. All three are off by default and cost
+// nothing when disabled.
+//
 // Usage:
 //
 //	experiments [-n 200] [-j NumCPU] [-table3] [-fig2] [-fig3] [-fig4]
-//	            [-spec] [-all] [-metrics dir]
+//	            [-spec] [-all] [-metrics dir] [-coalesce]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out] [-pprof addr]
 //	experiments -campaign safety [-faults k1,k2] [-rates r1,r2] [-seed s] [-n N]
 //	experiments -campaign conform [-seed s] [-n N]
 package main
@@ -64,7 +79,22 @@ func main() {
 	faults := flag.String("faults", "", "comma-separated fault kinds for -campaign safety (default: all)")
 	rates := flag.String("rates", "", "comma-separated injection rates per 1000 (default: 50,250)")
 	seed := flag.Uint64("seed", 0, "base seed for -campaign safety")
+	coalesce := flag.Bool("coalesce", false,
+		"coalesce counter metrics (VSA S/Δ): durable records per distinct series, not per event")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	ps, err := obs.StartProfile(obs.ProfileOptions{
+		CPUPath: *cpuprofile, MemPath: *memprofile, HTTPAddr: *pprofAddr,
+	})
+	check(err)
+	profScope = ps
+	defer stopProfile()
+	if addr := ps.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", addr)
+	}
 	nSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "n" {
@@ -84,6 +114,9 @@ func main() {
 	run := func(plan *rt.Plan, name string) {
 		sink, done := metricsSink(*metricsDir, name)
 		eng := &rt.Engine{Workers: *j, Sink: sink}
+		if *coalesce {
+			eng.Coalesce = &obs.CoalesceOptions{}
+		}
 		rep, err := eng.Run(plan)
 		check(err)
 		check(done())
@@ -210,9 +243,21 @@ func printSpec() {
 	fmt.Println()
 }
 
+// profScope is the process-wide profiling scope (nil when profiling is
+// off); error exits flush it so partial profiles stay loadable.
+var profScope *obs.ProfileScope
+
+func stopProfile() {
+	if err := profScope.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: profile:", err)
+	}
+	profScope = nil
+}
+
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		stopProfile()
 		os.Exit(1)
 	}
 }

@@ -5,6 +5,7 @@
 //
 //	visasim [-proc simple|complex] [-mhz 1000] [-runs 1] [-j NumCPU]
 //	        [-trace out.json] [-metrics out.jsonl|out.csv]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out] [-pprof addr]
 //	        (-bench name[,name...]|all | file.c)
 //	visasim -conform (-gen seed [-keep i,j] [-dump] | -bench name|all | file.c)
 //
@@ -21,8 +22,13 @@
 // https://ui.perfetto.dev or chrome://tracing (single benchmark only — the
 // trace is one shared timeline). -metrics streams one machine-readable
 // record per run and per sub-task, then the full counter registry, as
-// JSONL (or CSV for .csv paths). Both outputs use simulated time only and
+// JSONL (or CSV for .csv paths — note the stream mixes record kinds, so
+// CSV, which requires one uniform schema per file, reports a schema error;
+// use JSONL for visasim metrics). Both outputs use simulated time only and
 // are byte-identical across repeated runs.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the whole run;
+// -pprof serves net/http/pprof live for long simulations.
 //
 // -conform runs the cross-model conformance oracle (internal/conform)
 // instead of a simulation: the program is swept through the functional
@@ -84,7 +90,22 @@ func main() {
 	genFlag := flag.String("gen", "", "conformance: generate the program from this seed (decimal or 0x hex)")
 	keepFlag := flag.String("keep", "", "conformance: keep only these generated sub-task segments (e.g. 0,2)")
 	dumpFlag := flag.Bool("dump", false, "conformance: print the generated program source")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	prof, err := obs.StartProfile(obs.ProfileOptions{
+		CPUPath: *cpuprofile, MemPath: *memprofile, HTTPAddr: *pprofAddr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	profScope = prof
+	defer stopProfile()
+	if addr := prof.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", addr)
+	}
 
 	if *conformFlag || *genFlag != "" {
 		runConform(*genFlag, *keepFlag, *bench, *dumpFlag)
@@ -332,6 +353,7 @@ func runConform(genSeed, keep, bench string, dump bool) {
 		}
 	}
 	if failed {
+		stopProfile()
 		os.Exit(1)
 	}
 }
@@ -506,7 +528,19 @@ func runSim(job simJob, proc rt.Proc, mhz, runs int, spec *fault.Spec, tr *obs.T
 	return out.String(), nil
 }
 
+// profScope is the process-wide profiling scope (nil when profiling is
+// off); error exits flush it so partial profiles stay loadable.
+var profScope *obs.ProfileScope
+
+func stopProfile() {
+	if err := profScope.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "visasim: profile:", err)
+	}
+	profScope = nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "visasim:", err)
+	stopProfile()
 	os.Exit(1)
 }

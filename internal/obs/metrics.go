@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // Field is one key/value pair of a metrics record. Field order is the
@@ -42,12 +43,27 @@ const (
 	FormatCSV                 // header from the first record, then rows
 )
 
-// FormatForPath picks CSV for .csv paths and JSONL otherwise.
+// FormatForPath picks CSV for .csv paths (case-insensitively, so ".CSV"
+// and ".Csv" select CSV too) and JSONL otherwise.
 func FormatForPath(path string) Format {
-	if len(path) >= 4 && path[len(path)-4:] == ".csv" {
+	if len(path) >= 4 && strings.EqualFold(path[len(path)-4:], ".csv") {
 		return FormatCSV
 	}
 	return FormatJSONL
+}
+
+// SchemaError reports a CSV record whose fields do not match the header
+// derived from the stream's first record. CSV is positional: silently
+// dropping or blank-filling mismatched fields would emit a corrupt row, so
+// the writer fails sticky with this error instead. (JSONL streams are
+// self-describing and carry mixed schemas freely.)
+type SchemaError struct {
+	Header []string // the stream's header (first record's keys, in order)
+	Keys   []string // the offending record's keys, in order
+}
+
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("obs: csv record schema %v does not match stream header %v", e.Keys, e.Header)
 }
 
 // MetricsWriter streams records to w in the chosen format. Writes are
@@ -190,6 +206,10 @@ func (m *MetricsWriter) writeCSV(rec Record) {
 			return
 		}
 	}
+	if err := m.checkSchema(rec); err != nil {
+		m.err = err
+		return
+	}
 	row := make([]string, len(m.header))
 	for i, key := range m.header {
 		if v := rec.Get(key); v != nil {
@@ -199,6 +219,28 @@ func (m *MetricsWriter) writeCSV(rec Record) {
 	if err := m.csvw.Write(row); err != nil {
 		m.err = err
 	}
+}
+
+// checkSchema verifies that rec carries exactly the header's keys (order
+// may differ — rows are assembled by key). A mismatch is a *SchemaError.
+func (m *MetricsWriter) checkSchema(rec Record) error {
+	ok := len(rec) == len(m.header)
+	if ok {
+		for _, key := range m.header {
+			if rec.Get(key) == nil {
+				ok = false
+				break
+			}
+		}
+	}
+	if ok {
+		return nil
+	}
+	keys := make([]string, len(rec))
+	for i, f := range rec {
+		keys[i] = f.Key
+	}
+	return &SchemaError{Header: append([]string(nil), m.header...), Keys: keys}
 }
 
 func formatCSVValue(v any) string {

@@ -46,10 +46,15 @@ type regEntry struct {
 type Registry struct {
 	entries []regEntry
 	byName  map[string]int
+
+	hists      []*Histogram
+	histByName map[string]int
 }
 
 // NewRegistry creates an empty registry.
-func NewRegistry() *Registry { return &Registry{byName: map[string]int{}} }
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]int{}, histByName: map[string]int{}}
+}
 
 func (r *Registry) put(e regEntry) {
 	if r == nil {
@@ -73,12 +78,27 @@ func (r *Registry) Gauge(name string, f func() float64) {
 	r.put(regEntry{name: name, floatFn: f})
 }
 
-// Len returns the number of registered series.
+// Histogram registers (or, by name, replaces — idempotent wiring) a
+// histogram; Snapshot expands it into .count/.sum/.min/.max/.le.<bound>
+// samples alongside the scalar series. No-op on nil (either side).
+func (r *Registry) Histogram(h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	if i, ok := r.histByName[h.name]; ok {
+		r.hists[i] = h
+		return
+	}
+	r.histByName[h.name] = len(r.hists)
+	r.hists = append(r.hists, h)
+}
+
+// Len returns the number of registered series (histograms count once).
 func (r *Registry) Len() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.entries)
+	return len(r.entries) + len(r.hists)
 }
 
 // Snapshot samples every registered series, sorted by name (deterministic).
@@ -88,6 +108,9 @@ func (r *Registry) Snapshot() []Sample {
 		return nil
 	}
 	out := make([]Sample, 0, len(r.entries))
+	for _, h := range r.hists {
+		out = append(out, h.Samples()...)
+	}
 	for _, e := range r.entries {
 		s := Sample{Name: e.name}
 		if e.intFn != nil {
@@ -101,13 +124,19 @@ func (r *Registry) Snapshot() []Sample {
 	return out
 }
 
-// Sink bundles the three instrumentation surfaces an experiment can attach.
+// Sink bundles the instrumentation surfaces an experiment can attach.
 // A nil *Sink (or any nil member) disables that surface; the accessors are
 // nil-safe so call sites read cfg.Obs.T() without guards.
 type Sink struct {
 	Trace    *Tracer
 	Metrics  *MetricsWriter
 	Registry *Registry
+
+	// Counters, when set, coalesces counter traffic (VSA S/Δ discipline)
+	// instead of emitting one durable record per event: call sites route
+	// countable happenings through C().Add and the flush triggers bound
+	// durable work by Θ(distinct series).
+	Counters *CoalescingSink
 }
 
 // T returns the tracer (nil when tracing is off).
@@ -132,4 +161,12 @@ func (s *Sink) R() *Registry {
 		return nil
 	}
 	return s.Registry
+}
+
+// C returns the coalescing counter sink (nil when coalescing is off).
+func (s *Sink) C() *CoalescingSink {
+	if s == nil {
+		return nil
+	}
+	return s.Counters
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -178,10 +179,88 @@ func TestMetricsCSV(t *testing.T) {
 }
 
 func TestFormatForPath(t *testing.T) {
-	if FormatForPath("out.csv") != FormatCSV {
-		t.Error("out.csv should be CSV")
+	cases := []struct {
+		path string
+		want Format
+	}{
+		{"out.csv", FormatCSV},
+		{"out.CSV", FormatCSV},
+		{"out.Csv", FormatCSV},
+		{"dir/metrics.cSv", FormatCSV},
+		{"out.jsonl", FormatJSONL},
+		{"out.Jsonl", FormatJSONL},
+		{"out.JSONL", FormatJSONL},
+		{"out.txt", FormatJSONL},
+		{"csv", FormatJSONL},    // extension, not a bare name
+		{".csv", FormatCSV},     // exactly the extension
+		{"outcsv", FormatJSONL}, // no dot
+		{"out.csv.gz", FormatJSONL},
+		{"", FormatJSONL},
 	}
-	if FormatForPath("out.jsonl") != FormatJSONL {
-		t.Error("out.jsonl should be JSONL")
+	for _, c := range cases {
+		if got := FormatForPath(c.path); got != c.want {
+			t.Errorf("FormatForPath(%q) = %v, want %v", c.path, got, c.want)
+		}
 	}
+}
+
+// TestMetricsCSVSchemaError: a record whose schema diverges from the
+// header must fail with a typed *SchemaError instead of emitting a
+// silently corrupt row, and the error must be sticky.
+func TestMetricsCSVSchemaError(t *testing.T) {
+	var buf bytes.Buffer
+	mw := NewMetricsWriter(&buf, FormatCSV)
+	mw.Write(Record{F("kind", "r"), F("n", int64(1))})
+	mw.Write(Record{F("kind", "r"), F("other", int64(2))}) // same arity, wrong key
+	var se *SchemaError
+	if !errors.As(mw.Err(), &se) {
+		t.Fatalf("want *SchemaError, got %v", mw.Err())
+	}
+	if len(se.Header) != 2 || se.Header[0] != "kind" || se.Keys[1] != "other" {
+		t.Errorf("SchemaError carries header %v / keys %v", se.Header, se.Keys)
+	}
+	// Sticky: later conforming writes stay suppressed, Close reports it.
+	mw.Write(Record{F("kind", "r"), F("n", int64(3))})
+	if mw.Count() != 1 {
+		t.Errorf("count = %d after schema error, want 1", mw.Count())
+	}
+	if !errors.As(mw.Close(), &se) {
+		t.Errorf("Close() = %v, want the schema error", mw.Close())
+	}
+	if got := buf.String(); got != "kind,n\nr,1\n" {
+		t.Errorf("stream carries %q; no corrupt row may follow the error", got)
+	}
+
+	// Arity mismatch (extra field) is also a schema error.
+	mw2 := NewMetricsWriter(&bytes.Buffer{}, FormatCSV)
+	mw2.Write(Record{F("a", 1)})
+	mw2.Write(Record{F("a", 1), F("b", 2)})
+	if !errors.As(mw2.Err(), &se) {
+		t.Errorf("extra field: want *SchemaError, got %v", mw2.Err())
+	}
+	// Reordered fields are fine: rows are assembled by key.
+	mw3 := NewMetricsWriter(&bytes.Buffer{}, FormatCSV)
+	mw3.Write(Record{F("a", 1), F("b", 2)})
+	mw3.Write(Record{F("b", 3), F("a", 4)})
+	if err := mw3.Close(); err != nil {
+		t.Errorf("reordered same-schema record rejected: %v", err)
+	}
+}
+
+// decodeLines parses a JSONL byte stream into one map per line (shared
+// helper for the exporter-facing tests).
+func decodeLines(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
 }

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	nhpprof "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileOptions selects the profiling surfaces of a ProfileScope. Empty
+// fields disable their surface; the all-empty value disables profiling
+// entirely (StartProfile returns a nil scope at zero cost — the only
+// overhead of a disabled profile is the flag check at startup).
+type ProfileOptions struct {
+	// CPUPath, when set, writes a pprof CPU profile covering the scope.
+	CPUPath string
+	// MemPath, when set, writes a pprof heap profile at Stop (after a GC,
+	// so the profile reflects live memory, not garbage).
+	MemPath string
+	// HTTPAddr, when set, serves the net/http/pprof endpoints
+	// (/debug/pprof/...) on the address for live inspection. The listener
+	// binds at StartProfile so bind errors surface immediately; use
+	// Addr() to recover the bound address when the port was 0.
+	HTTPAddr string
+}
+
+// ProfileScope brackets a region of execution — typically one engine run —
+// with pprof capture. Build one with StartProfile, run the workload, and
+// call Stop. All methods are no-ops on a nil receiver, so call sites need
+// no enabled-guards:
+//
+//	ps, err := obs.StartProfile(opts) // nil scope when opts is empty
+//	...
+//	err = ps.Stop()
+type ProfileScope struct {
+	cpuFile *os.File
+	memPath string
+	ln      net.Listener
+}
+
+// StartProfile opens the requested profiling surfaces. With all options
+// empty it returns (nil, nil): the disabled path costs nothing and the nil
+// scope's Stop is a no-op.
+func StartProfile(o ProfileOptions) (*ProfileScope, error) {
+	if o.CPUPath == "" && o.MemPath == "" && o.HTTPAddr == "" {
+		return nil, nil
+	}
+	p := &ProfileScope{memPath: o.MemPath}
+	if o.CPUPath != "" {
+		f, err := os.Create(o.CPUPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close() //visa:allow(errlint): best-effort cleanup; the StartCPUProfile error dominates
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if o.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", o.HTTPAddr)
+		if err != nil {
+			p.abort()
+			return nil, fmt.Errorf("obs: pprof server: %w", err)
+		}
+		p.ln = ln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", nhpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", nhpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", nhpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", nhpprof.Trace)
+		go func() {
+			// Serve returns a non-nil error when the listener closes at
+			// Stop; that shutdown path is the expected lifecycle, not a
+			// failure to report.
+			_ = http.Serve(ln, mux)
+		}()
+	}
+	return p, nil
+}
+
+// abort releases partially opened surfaces when StartProfile fails.
+func (p *ProfileScope) abort() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close() //visa:allow(errlint): abort path of a failed StartProfile; its error is already being returned
+		p.cpuFile = nil
+	}
+}
+
+// Addr returns the pprof server's bound address ("" when no server).
+func (p *ProfileScope) Addr() string {
+	if p == nil || p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Stop closes every surface: it stops and flushes the CPU profile, writes
+// the heap profile (after a GC), and shuts the pprof server down. The
+// first error wins; Stop is safe to call once on any scope, including nil.
+func (p *ProfileScope) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(p.cpuFile.Close())
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			keep(fmt.Errorf("obs: mem profile: %w", err))
+		} else {
+			runtime.GC() // profile live memory, not collectable garbage
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+		p.memPath = ""
+	}
+	if p.ln != nil {
+		keep(p.ln.Close())
+		p.ln = nil
+	}
+	return first
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestProfileDisabled: all-empty options must cost nothing — nil scope,
+// nil error, and a Stop that is a no-op.
+func TestProfileDisabled(t *testing.T) {
+	ps, err := StartProfile(ProfileOptions{})
+	if ps != nil || err != nil {
+		t.Fatalf("disabled profile = (%v, %v), want (nil, nil)", ps, err)
+	}
+	if ps.Addr() != "" {
+		t.Error("nil scope reports an address")
+	}
+	if err := ps.Stop(); err != nil {
+		t.Errorf("nil Stop = %v", err)
+	}
+}
+
+// readProfile loads path and verifies it is a loadable pprof profile: the
+// runtime writes gzip-compressed protobuf, so the gzip magic must lead and
+// the payload must decompress to non-empty protobuf bytes.
+func readProfile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatalf("%s does not start with the gzip magic (got % x)", path, b[:min(2, len(b))])
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("%s: decompress: %v", path, err)
+	}
+	if len(raw) == 0 {
+		t.Fatalf("%s: empty profile payload", path)
+	}
+	return raw
+}
+
+// TestProfileCPUAndMem: the scope must produce loadable pprof files for
+// both surfaces.
+func TestProfileCPUAndMem(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	ps, err := StartProfile(ProfileOptions{CPUPath: cpu, MemPath: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU inside the scope so the profile has somewhere to
+	// attribute samples (an empty profile is still valid — loadability is
+	// what we assert).
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i * i
+	}
+	_ = sink
+	if err := ps.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	readProfile(t, cpu)
+	readProfile(t, mem)
+}
+
+// TestProfileHTTP: the live pprof server binds at Start (port 0 works),
+// serves /debug/pprof/, and shuts down at Stop.
+func TestProfileHTTP(t *testing.T) {
+	ps, err := StartProfile(ProfileOptions{HTTPAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ps.Addr()
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("pprof")) {
+		t.Error("index page does not mention pprof")
+	}
+	if err := ps.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the client's kept-alive connection so the probe must dial the
+	// (now closed) listener afresh.
+	http.DefaultClient.CloseIdleConnections()
+	if _, err := http.Get("http://" + addr + "/debug/pprof/"); err == nil {
+		t.Error("server still reachable after Stop")
+	}
+}
+
+// TestProfileStartErrors: an unwritable CPU path fails fast; a bad listen
+// address fails and releases the already-started CPU profile (so a retry
+// can start one again).
+func TestProfileStartErrors(t *testing.T) {
+	if _, err := StartProfile(ProfileOptions{CPUPath: filepath.Join(t.TempDir(), "no", "such", "dir", "x")}); err == nil {
+		t.Error("unwritable cpu path accepted")
+	}
+	cpu := filepath.Join(t.TempDir(), "cpu.out")
+	if _, err := StartProfile(ProfileOptions{CPUPath: cpu, HTTPAddr: "256.256.256.256:1"}); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	// The abort path must have stopped the CPU profile: starting again works.
+	ps, err := StartProfile(ProfileOptions{CPUPath: cpu})
+	if err != nil {
+		t.Fatalf("cpu profiling not released after aborted start: %v", err)
+	}
+	if err := ps.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

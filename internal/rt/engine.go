@@ -51,6 +51,15 @@ type Engine struct {
 	// standard job whose config leaves it unset — a per-task watchdog on
 	// the simulation itself, so one runaway job cannot hang the plan.
 	CycleBudget int64
+
+	// Coalesce, when non-nil (and metrics are attached), gives every job a
+	// private obs.CoalescingSink over its record buffer: countable events
+	// accumulate in RAM as per-key deltas and only the net effect is
+	// flushed (at threshold/age triggers and at job end), so the durable
+	// stream carries Θ(distinct series) counter records instead of one per
+	// event. The per-job sinks flush into per-job buffers replayed in plan
+	// order, so the merged stream stays byte-identical for any Workers.
+	Coalesce *obs.CoalesceOptions
 }
 
 // ErrTransient marks an error as retryable by the engine. Wrap with
@@ -164,9 +173,16 @@ func (e *Engine) runWithRetry(job Job, serial, metricsOn bool) (JobResult, *obs.
 	for attempt := 0; ; attempt++ {
 		sink := &obs.Sink{}
 		var buf *obs.MetricsWriter
+		var cs *obs.CoalescingSink
 		if metricsOn {
 			buf = obs.NewRecordBuffer()
 			sink.Metrics = buf
+			if e.Coalesce != nil {
+				// Each attempt gets a fresh coalescer over the fresh
+				// buffer, so retried jobs flush exactly once.
+				cs = obs.NewCoalescingSink(buf, *e.Coalesce)
+				sink.Counters = cs
+			}
 		}
 		if serial {
 			// Serial runs may share the engine's tracer and counter
@@ -175,6 +191,9 @@ func (e *Engine) runWithRetry(job Job, serial, metricsOn bool) (JobResult, *obs.
 			sink.Registry = e.sink().R()
 		}
 		res, err := safeRun(job, sink)
+		if cerr := cs.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 		if err == nil || !errors.Is(err, ErrTransient) || attempt >= e.MaxRetries {
 			return res, buf, err
 		}

@@ -36,6 +36,10 @@ type procSim struct {
 	// unset); budget is Config.CycleBudget (0 = unlimited).
 	inject *fault.Injector
 	budget int64
+
+	// inst holds the run's distributional instruments (nil when both the
+	// metrics and registry surfaces are off; every method is nil-safe).
+	inst *jobInstruments
 }
 
 func newProcSim(prog *isa.Program, kind Proc, fMHz int) *procSim {
@@ -113,10 +117,11 @@ func (ps *procSim) attachInjector(inj *fault.Injector) {
 
 // taskResult is one task instance's outcome.
 type taskResult struct {
-	timeNs   float64
-	aets     []float64 // per-sub-task AET in cycles-at-1GHz (ns@1GHz)
-	missed   bool
-	simpleNs float64 // time spent in recovery (simple mode / recovery freq)
+	timeNs    float64
+	aets      []float64 // per-sub-task AET in cycles-at-1GHz (ns@1GHz)
+	missed    bool
+	simpleNs  float64 // time spent in recovery (simple mode / recovery freq)
+	endCycles int64   // pipeline cycles at task end (engine latency)
 }
 
 // runTask executes one task instance under the plan, accounting energy into
@@ -170,6 +175,7 @@ func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32, 
 		switchStart = now
 		res.missed = true
 		ps.bus.SetFreq(fr.FMHz)
+		ps.inst.switchDrain(now, now) // EQ 2: no drain window, only the fixed ovhd
 	}
 
 	// Simple-mode cycles are scaled down when reconstructing a mispredicted
@@ -218,6 +224,7 @@ func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32, 
 			}
 			if k >= 1 && wd.Armed() {
 				ob.checkpoint(k, now, wd.Remaining(now), plan.WatchdogAdd[k])
+				ps.inst.checkpointMargin(wd.Remaining(now))
 				wd.Add(now, plan.WatchdogAdd[k])
 			}
 			curSub = k
@@ -242,6 +249,7 @@ func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32, 
 				switchStart = ps.cx.SwitchToSimple(rt)
 				ps.bus.SetFreq(fr.FMHz)
 				ob.checkpointMiss(curSub, switchAt, switchStart, true)
+				ps.inst.switchDrain(switchAt, switchStart)
 			} else {
 				// PET misprediction on the explicitly-safe core: finish
 				// the sub-task at f_spec, then switch frequency.
@@ -257,6 +265,7 @@ func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32, 
 	}
 	end := ps.now()
 	closeSub(end)
+	res.endCycles = end
 
 	a := ps.takeActivity()
 	if !switched {
@@ -325,10 +334,14 @@ func RunProcessor(s *Setup, proc Proc, cfg Config) (*ProcResult, error) {
 
 	tr := cfg.Obs.T()
 	pid := obsLane(tr, cfg.Label, s.Bench.Name, kind.String())
+	prefix := cfg.obsPrefix(s.Bench.Name, kind.String())
+	if cfg.Obs.M() != nil || cfg.Obs.R() != nil {
+		ps.inst = newJobInstruments(prefix)
+	}
 	if reg := cfg.Obs.R(); reg != nil {
-		prefix := cfg.obsPrefix(s.Bench.Name, kind.String())
 		ps.registerObs(reg, prefix)
 		acct.RegisterObs(reg, prefix+".power")
+		ps.inst.register(reg)
 	}
 
 	n := cfg.instances()
@@ -386,7 +399,12 @@ func RunProcessor(s *Setup, proc Proc, cfg Config) (*ProcResult, error) {
 			tr.Instant(pid, tidMode, "fault", "fault.injected", baseNs+res.timeNs,
 				obs.A("instance", i), obs.A("count", injected),
 				obs.A("spec", cfg.Fault.String()))
-			if mw := cfg.Obs.M(); mw != nil {
+			// Per-event fault records are the campaign's dominant counter
+			// traffic; with a coalescing sink attached only the per-series
+			// net total reaches the durable stream (Θ(I), not O(events)).
+			if cs := cfg.Obs.C(); cs != nil {
+				cs.Add(prefix+".fault.injected", injected)
+			} else if mw := cfg.Obs.M(); mw != nil {
 				mw.Write(obs.Record{
 					obs.F("kind", "fault.injected"),
 					obs.F("label", cfg.Label),
@@ -399,7 +417,9 @@ func RunProcessor(s *Setup, proc Proc, cfg Config) (*ProcResult, error) {
 			}
 		}
 		if res.missed {
-			if mw := cfg.Obs.M(); mw != nil {
+			if cs := cfg.Obs.C(); cs != nil {
+				cs.Add(prefix+".watchdog.fired", 1)
+			} else if mw := cfg.Obs.M(); mw != nil {
 				mw.Write(obs.Record{
 					obs.F("kind", "watchdog.fired"),
 					obs.F("label", cfg.Label),
@@ -440,7 +460,19 @@ func RunProcessor(s *Setup, proc Proc, cfg Config) (*ProcResult, error) {
 			acct.AddIdle(idleCycles, minPt.Volts)
 		}
 		ob.instanceDone(res.timeNs, usedNs, deadline, res.missed)
-		if mw := cfg.Obs.M(); mw != nil {
+		ps.inst.instanceDone(res.endCycles, deadline-usedNs)
+		if cs := cfg.Obs.C(); cs != nil {
+			// Coalesced mode: the per-instance scalars become net counters
+			// (flushed once per series) and the distributions live in the
+			// hist records written after the loop.
+			cs.Add(prefix+".instances", 1)
+			if res.missed {
+				cs.Add(prefix+".missed", 1)
+			}
+			if replanned {
+				cs.Add(prefix+".replanned", 1)
+			}
+		} else if mw := cfg.Obs.M(); mw != nil {
 			mw.Write(obs.Record{
 				obs.F("kind", "instance"),
 				obs.F("label", cfg.Label),
@@ -459,6 +491,7 @@ func RunProcessor(s *Setup, proc Proc, cfg Config) (*ProcResult, error) {
 			})
 		}
 	}
+	ps.inst.writeRecords(cfg.Obs.M(), cfg.Label, s.Bench.Name, kind.String())
 	out.Energy = acct.Energy()
 	out.AvgPower = acct.AvgPower(float64(n) * deadline)
 	out.FinalSpecMHz = plan.Spec.FMHz
