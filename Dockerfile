@@ -1,0 +1,17 @@
+# visad — the VISA simulation-as-a-service daemon (cmd/visad).
+#
+#   docker build -t visad .
+#   docker run -p 8080:8080 visad -quota-rate 2 -quota-burst 5
+#
+# The binary is static (CGO off, stdlib only), so the runtime stage is
+# scratch plus nothing.
+FROM golang:1.22 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /visad ./cmd/visad
+
+FROM scratch
+COPY --from=build /visad /visad
+EXPOSE 8080
+ENTRYPOINT ["/visad", "-addr", ":8080"]

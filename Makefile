@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs tier-all vet fmt-check race test bench-engine bench-json clean
+.PHONY: all build tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs tier-serve tier-all vet fmt-check race test bench-engine bench-json clean
 
 all: build
 
@@ -70,8 +70,19 @@ tier-obs:
 	$(GO) test ./cmd/experiments/
 	$(GO) test -run '^$$' -bench 'Coalescing|PerEventRecordWrite' -benchtime 100x -benchmem ./internal/obs/
 
+# Tier serve: the simulation-service gate — the serve package (admission,
+# quotas, drain, handlers, cross-worker-count stream determinism) under
+# the race detector, the visad binary e2e tests (two daemons at different
+# -j byte-identical, SIGTERM drain, 50-client visaload sweep), then the
+# shell-level smoke: build both binaries, start a daemon, hammer it, and
+# drain it.
+tier-serve:
+	$(GO) test -race ./internal/serve/
+	$(GO) test ./cmd/visad/
+	./scripts/smoke_serve.sh
+
 # Tier all: every gate in one invocation.
-tier-all: tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs
+tier-all: tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs tier-serve
 
 # Records the serial-vs-parallel wall-clock of the full evaluation
 # (`experiments -all -n 20` equivalent; see bench_test.go).

@@ -43,6 +43,12 @@
 //	            [-cpuprofile cpu.out] [-memprofile mem.out] [-pprof addr]
 //	experiments -campaign safety [-faults k1,k2] [-rates r1,r2] [-seed s] [-n N]
 //	experiments -campaign conform [-seed s] [-n N]
+//	experiments -plan spec.json [-j N] [-metrics dir] [-coalesce]
+//
+// -plan runs a serialized plan spec (rt.PlanSpec, the same JSON wire
+// format cmd/visad accepts over POST /v1/jobs) on the local engine — the
+// offline twin of submitting it to a daemon; the report is byte-identical
+// either way.
 package main
 
 import (
@@ -75,6 +81,7 @@ func main() {
 	spec := flag.Bool("spec", false, "print the modelled configuration (Table 1, §3.2)")
 	all := flag.Bool("all", false, "run everything")
 	metricsDir := flag.String("metrics", "", "directory for machine-readable metrics (JSONL per experiment)")
+	planPath := flag.String("plan", "", "run a serialized plan spec (JSON, the visad wire format) instead of the built-in figures")
 	campaign := flag.String("campaign", "", "run a named campaign instead of the figures (safety)")
 	faults := flag.String("faults", "", "comma-separated fault kinds for -campaign safety (default: all)")
 	rates := flag.String("rates", "", "comma-separated injection rates per 1000 (default: 50,250)")
@@ -122,6 +129,20 @@ func main() {
 		check(done())
 		fmt.Println(rep.Text)
 		check(rep.Err())
+	}
+
+	if *planPath != "" {
+		// A serialized plan spec — the same wire format cmd/visad serves —
+		// run locally: decode, validate, execute, print the report.
+		data, err := os.ReadFile(*planPath)
+		check(err)
+		spec, err := rt.DecodePlanSpec(data)
+		check(err)
+		check(spec.Validate())
+		plan, err := spec.Plan()
+		check(err)
+		run(plan, plan.Name+".jsonl")
+		return
 	}
 
 	switch *campaign {

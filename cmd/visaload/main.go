@@ -1,0 +1,266 @@
+// Command visaload is the load generator and determinism checker for a
+// running visad daemon: N concurrent clients submit the same plan spec,
+// honor 429 Retry-After backoff, wait for completion, and assert that
+// every client read back a byte-identical report — the service-level
+// determinism acceptance check.
+//
+// Usage:
+//
+//	visaload [-addr http://localhost:8080] [-clients 50] [-plan spec.json]
+//	         [-stream] [-timeout 5m]
+//
+// Without -plan a small built-in comparison plan is used. With -stream
+// each client also consumes the NDJSON event stream and the tool asserts
+// the plan-order replays are identical across clients. Exits nonzero on
+// any submission failure, job failure, or report mismatch.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"visa/internal/rt"
+	"visa/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "visad base URL")
+	clients := flag.Int("clients", 50, "concurrent clients")
+	planPath := flag.String("plan", "", "plan spec JSON file (default: built-in comparison plan)")
+	stream := flag.Bool("stream", false, "also consume and compare NDJSON event streams")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-client overall deadline")
+	flag.Parse()
+
+	spec, err := loadPlan(*planPath)
+	if err != nil {
+		fatal(err)
+	}
+	body, err := spec.Encode()
+	if err != nil {
+		fatal(err)
+	}
+
+	type result struct {
+		report  string
+		replay  []byte
+		retries int
+		err     error
+	}
+	results := make([]result, *clients)
+	//visa:allow(detlint): a load generator lives in wall-clock service time, not simulated time
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := &results[c]
+			cl := &client{
+				base: *addr, id: fmt.Sprintf("load-%d", c),
+				http:     &http.Client{Timeout: *timeout},
+				deadline: start.Add(*timeout),
+			}
+			id, retries, err := cl.submit(body)
+			r.retries = retries
+			if err != nil {
+				r.err = err
+				return
+			}
+			if *stream {
+				r.replay, r.err = cl.streamReplay(id)
+				if r.err != nil {
+					return
+				}
+			}
+			r.report, r.err = cl.waitDone(id)
+		}(c)
+	}
+	wg.Wait()
+	//visa:allow(detlint): wall-clock elapsed time is the load report, not a simulation result
+	elapsed := time.Since(start)
+
+	failures, retries := 0, 0
+	for c := range results {
+		retries += results[c].retries
+		if results[c].err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "visaload: client %d: %v\n", c, results[c].err)
+		}
+	}
+	if failures > 0 {
+		fatal(fmt.Errorf("%d/%d clients failed", failures, *clients))
+	}
+	for c := 1; c < *clients; c++ {
+		if results[c].report != results[0].report {
+			fatal(fmt.Errorf("determinism violation: client %d report differs from client 0", c))
+		}
+		if *stream && !bytes.Equal(results[c].replay, results[0].replay) {
+			fatal(fmt.Errorf("determinism violation: client %d stream replay differs from client 0", c))
+		}
+	}
+	if results[0].report == "" {
+		fatal(fmt.Errorf("empty report"))
+	}
+	fmt.Printf("visaload: %d clients, %d retries after 429, %.2fs wall: all reports byte-identical (%d bytes)\n",
+		*clients, retries, elapsed.Seconds(), len(results[0].report))
+	if *stream {
+		fmt.Printf("visaload: stream replays identical (%d bytes)\n", len(results[0].replay))
+	}
+}
+
+// loadPlan reads a spec file, or builds the default two-bench comparison
+// plan small enough to run in bulk.
+func loadPlan(path string) (rt.PlanSpec, error) {
+	if path == "" {
+		return rt.PlanSpec{
+			Version: rt.SpecVersion, Kind: rt.PlanCustom, Name: "visaload",
+			Jobs: []rt.JobSpec{
+				{Version: rt.SpecVersion, Bench: "cnt",
+					Config: rt.ConfigSpec{Instances: 5, Label: "visaload/cnt"}},
+				{Version: rt.SpecVersion, Bench: "srt",
+					Config: rt.ConfigSpec{Instances: 5, Label: "visaload/srt"}},
+			},
+		}, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rt.PlanSpec{}, err
+	}
+	spec, err := rt.DecodePlanSpec(data)
+	if err != nil {
+		return rt.PlanSpec{}, err
+	}
+	return spec, spec.Validate()
+}
+
+type client struct {
+	base     string
+	id       string
+	http     *http.Client
+	deadline time.Time
+}
+
+// submit posts the plan, backing off per Retry-After on 429 until the
+// deadline. Returns the job ID and how many 429 rounds it absorbed.
+func (c *client) submit(body []byte) (id string, retries int, err error) {
+	for {
+		req, err := http.NewRequest("POST", c.base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return "", retries, err
+		}
+		req.Header.Set("X-Client-ID", c.id)
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return "", retries, err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var sr serve.SubmitResponse
+			err := json.NewDecoder(resp.Body).Decode(&sr)
+			resp.Body.Close()
+			return sr.ID, retries, err
+		case http.StatusTooManyRequests:
+			ra := resp.Header.Get("Retry-After")
+			resp.Body.Close()
+			secs, err := strconv.Atoi(ra)
+			if err != nil || secs < 1 {
+				secs = 1
+			}
+			retries++
+			//visa:allow(detlint): Retry-After backoff is wall-clock by definition
+			wake := time.Now().Add(time.Duration(secs) * time.Second)
+			if wake.After(c.deadline) {
+				return "", retries, fmt.Errorf("deadline exceeded while backing off (429, Retry-After %s)", ra)
+			}
+			time.Sleep(time.Until(wake))
+		default:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return "", retries, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		}
+	}
+}
+
+// waitDone polls the job until a terminal state and returns the report.
+func (c *client) waitDone(id string) (string, error) {
+	//visa:allow(detlint): polling deadline against the wall clock; the job itself runs in simulated time
+	for time.Now().Before(c.deadline) {
+		resp, err := c.http.Get(c.base + "/v1/jobs/" + id)
+		if err != nil {
+			return "", err
+		}
+		var jr serve.JobResponse
+		err = json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch jr.Status {
+		case serve.StatusDone:
+			if jr.Failed > 0 {
+				return "", fmt.Errorf("job %s: %d plan jobs failed", id, jr.Failed)
+			}
+			return jr.Report, nil
+		case serve.StatusFailed:
+			return "", fmt.Errorf("job %s failed: %s", id, jr.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return "", fmt.Errorf("job %s: deadline exceeded", id)
+}
+
+// streamReplay consumes the NDJSON stream and returns the deterministic
+// plan-order replay: per-job events stably sorted by plan index, then the
+// tail (report/done), re-encoded one event per line.
+func (c *client) streamReplay(id string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stream: %s", resp.Status)
+	}
+	var per, tail []serve.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var ev serve.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("bad NDJSON line: %v", err)
+		}
+		if ev.Type == "metrics" || ev.Type == "job" {
+			per = append(per, ev)
+		} else {
+			tail = append(tail, ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(per, func(i, j int) bool { return per[i].Index < per[j].Index })
+	var out bytes.Buffer
+	enc := json.NewEncoder(&out)
+	for _, ev := range append(per, tail...) {
+		if err := enc.Encode(ev); err != nil {
+			return nil, err
+		}
+	}
+	return out.Bytes(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "visaload:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"visa/internal/exec"
 	"visa/internal/obs"
 )
 
@@ -60,6 +61,14 @@ type Engine struct {
 	// event. The per-job sinks flush into per-job buffers replayed in plan
 	// order, so the merged stream stays byte-identical for any Workers.
 	Coalesce *obs.CoalesceOptions
+
+	// OnJobDone, when non-nil, is called once per job as it completes —
+	// in completion order, from the worker goroutines, so the callback
+	// must be safe for concurrent use. recs is the job's buffered metrics
+	// stream (nil when metrics are off); retried jobs report once, after
+	// the final attempt. The service layer streams per-job results through
+	// this hook; consumers needing plan order key on i.
+	OnJobDone func(i int, res JobResult, recs []obs.Record, err error)
 }
 
 // ErrTransient marks an error as retryable by the engine. Wrap with
@@ -103,7 +112,9 @@ func (e *Engine) Run(p *Plan) (*Report, error) {
 		cfg := jobs[i].Config
 		cfg.Obs = e.sink()
 		if err := cfg.Validate(); err != nil {
-			return nil, errf("rt: plan %s job %d (%s): %v", p.Name, i, jobs[i].name(), err)
+			// Validate's errors wrap ErrInvalidSpec; keep that root visible
+			// through the plan/job attribution.
+			return nil, fmt.Errorf("rt: plan %s job %d (%s): %w", p.Name, i, jobs[i].name(), err)
 		}
 	}
 
@@ -134,6 +145,9 @@ func (e *Engine) Run(p *Plan) (*Report, error) {
 			defer wg.Done()
 			for i := range idx {
 				results[i], bufs[i], errs[i] = e.runWithRetry(jobs[i], workers == 1, metricsOn)
+				if e.OnJobDone != nil {
+					e.OnJobDone(i, results[i], bufs[i].Records(), errs[i])
+				}
 			}
 		}()
 	}
@@ -195,13 +209,28 @@ func (e *Engine) runWithRetry(job Job, serial, metricsOn bool) (JobResult, *obs.
 			err = cerr
 		}
 		if err == nil || !errors.Is(err, ErrTransient) || attempt >= e.MaxRetries {
-			return res, buf, err
+			return res, buf, classify(err)
 		}
 		if backoff > 0 {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
 	}
+}
+
+// classify roots job failures in the exported sentinels so the service
+// boundary maps them with errors.Is: a functional-machine budget overrun
+// (*exec.BudgetError) joins ErrBudgetExceeded alongside the pipeline-level
+// ErrCycleBudget, which already wraps it.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	var be *exec.BudgetError
+	if !errors.Is(err, ErrBudgetExceeded) && errors.As(err, &be) {
+		return fmt.Errorf("%w: %w", ErrBudgetExceeded, err)
+	}
+	return err
 }
 
 // safeRun is the crash barrier: a panic inside the job becomes a

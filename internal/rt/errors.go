@@ -1,0 +1,43 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for the service boundary. A long-running server wrapping
+// the engine (cmd/visad) maps failures to HTTP statuses with errors.Is —
+// never by matching message strings — so every rejection class the engine
+// or its admission layer can produce is rooted in one of these exported
+// values. Deeper typed errors (exec.BudgetError, PanicError) stay available
+// through errors.As for detail; the sentinels are the classification layer
+// on top of them.
+var (
+	// ErrInvalidSpec roots every malformed-input failure: Config.Validate
+	// rejections, unparseable or out-of-range PlanSpec/JobSpec fields, and
+	// unknown benchmarks or kinds. Service mapping: 400 Bad Request.
+	ErrInvalidSpec = errors.New("rt: invalid spec")
+
+	// ErrQueueFull reports that a bounded admission queue refused new work.
+	// The engine never returns it; admission layers (internal/serve) do.
+	// Service mapping: 429 Too Many Requests with Retry-After.
+	ErrQueueFull = errors.New("rt: job queue full")
+
+	// ErrBudgetExceeded roots every budget overrun: a task instance
+	// tripping Config.CycleBudget (ErrCycleBudget wraps it) and a
+	// functional run tripping exec.Machine.Run's instruction budget (the
+	// engine wraps *exec.BudgetError with it). Service mapping: the job
+	// fails with a budget verdict, not a server error.
+	ErrBudgetExceeded = errors.New("rt: budget exceeded")
+)
+
+// ErrCycleBudget marks a task instance aborted by Config.CycleBudget (the
+// simulated-time analogue of a job timeout). It wraps ErrBudgetExceeded, so
+// both errors.Is(err, ErrCycleBudget) and errors.Is(err, ErrBudgetExceeded)
+// hold for such failures.
+var ErrCycleBudget = fmt.Errorf("%w: task cycle budget", ErrBudgetExceeded)
+
+// invalidf builds an ErrInvalidSpec-rooted error.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidSpec, fmt.Sprintf(format, args...))
+}

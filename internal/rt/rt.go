@@ -291,10 +291,19 @@ type Config struct {
 	// Instances overrides the default 200 when > 0 (tests use fewer).
 	Instances int
 
-	// Histogram selects the histogram PET policy with the given target
-	// misprediction rate instead of last-N (§4.3).
-	Histogram      bool
-	HistogramMiss  float64
+	// Policy selects the run-time PET estimation policy (§4.3); the zero
+	// value is PETLastN. PETHistogram targets the HistogramMiss
+	// misprediction rate.
+	Policy        PETPolicy
+	HistogramMiss float64
+
+	// Histogram selects the histogram PET policy.
+	//
+	// Deprecated: set Policy to PETHistogram (or build the config with
+	// NewConfig(WithPETPolicy(PETHistogram))). The flag is honoured for one
+	// release and then removed.
+	Histogram bool
+
 	VaryInputSeeds bool // vary the input seed per instance
 
 	// Fault attaches a deterministic fault-injection plan (see
@@ -320,32 +329,36 @@ type Config struct {
 
 // Validate rejects configurations that would otherwise silently misbehave.
 // Every run entry point (RunProcessor, RunComparison, RunSMT, Engine.Run)
-// calls it before doing any work.
+// calls it before doing any work. All rejections wrap ErrInvalidSpec, so
+// service boundaries classify them with errors.Is.
 func (c Config) Validate() error {
+	if !c.Policy.Valid() {
+		return invalidf("config: unknown PETPolicy (%d)", int(c.Policy))
+	}
 	if c.Instances < 0 {
-		return errf("rt: config: negative Instances (%d)", c.Instances)
+		return invalidf("config: negative Instances (%d)", c.Instances)
 	}
 	if c.FlushTasks < 0 {
-		return errf("rt: config: negative FlushTasks (%d)", c.FlushTasks)
+		return invalidf("config: negative FlushTasks (%d)", c.FlushTasks)
 	}
 	if c.FlushTasks > c.instances() {
-		return errf("rt: config: FlushTasks (%d) exceeds Instances (%d)",
+		return invalidf("config: FlushTasks (%d) exceeds Instances (%d)",
 			c.FlushTasks, c.instances())
 	}
 	if c.FreqAdvantage != 0 && c.FreqAdvantage < 1 {
-		return errf("rt: config: FreqAdvantage %g < 1 would slow simple-fixed down (use 0 or >= 1)",
+		return invalidf("config: FreqAdvantage %g < 1 would slow simple-fixed down (use 0 or >= 1)",
 			c.FreqAdvantage)
 	}
 	if c.Obs.M() != nil && c.Label == "" {
-		return errf("rt: config: empty Label with metrics attached (records would be unattributable)")
+		return invalidf("config: empty Label with metrics attached (records would be unattributable)")
 	}
 	if c.Fault != nil {
 		if err := c.Fault.Validate(); err != nil {
-			return errf("rt: config: %v", err)
+			return invalidf("config: %v", err)
 		}
 	}
 	if c.CycleBudget < 0 {
-		return errf("rt: config: negative CycleBudget (%d)", c.CycleBudget)
+		return invalidf("config: negative CycleBudget (%d)", c.CycleBudget)
 	}
 	return nil
 }

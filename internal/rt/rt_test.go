@@ -212,6 +212,10 @@ func TestTable3Shape(t *testing.T) {
 	}
 }
 
+// TestHistogramPolicyRuns exercises the histogram policy through the
+// deprecated Histogram flag — the one-release compatibility shim for
+// configs built before the PETPolicy enum (see options_test.go for the
+// enum path).
 func TestHistogramPolicyRuns(t *testing.T) {
 	row, err := RunComparison(clab.ByName("cnt"), Config{
 		Tight: true, Instances: testInstances, Histogram: true, HistogramMiss: 0.1,

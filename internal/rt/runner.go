@@ -1,8 +1,6 @@
 package rt
 
 import (
-	"errors"
-
 	"visa/internal/cache"
 	"visa/internal/clab"
 	"visa/internal/core"
@@ -15,10 +13,6 @@ import (
 	"visa/internal/power"
 	"visa/internal/simple"
 )
-
-// ErrCycleBudget marks a task instance aborted by Config.CycleBudget (the
-// simulated-time analogue of a job timeout). Match with errors.Is.
-var ErrCycleBudget = errors.New("task cycle budget exceeded")
 
 // procSim bundles one processor's functional machine, cache hierarchy, and
 // timing pipeline. Cache and predictor state persists across task instances
@@ -308,7 +302,7 @@ func RunProcessor(s *Setup, proc Proc, cfg Config) (*ProcResult, error) {
 	params := core.Params{DeadlineNs: deadline, OvhdNs: OvhdNs}
 
 	var policy core.PETPolicy
-	if cfg.Histogram {
+	if cfg.policy() == PETHistogram {
 		policy = core.NewHistogram(table.NumSubTasks(), cfg.HistogramMiss, 100)
 	} else {
 		policy = core.NewLastN(table.NumSubTasks(), LastNWindow)

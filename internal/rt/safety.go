@@ -168,12 +168,12 @@ func SafetyCampaignPlan(benches []*clab.Benchmark, c SafetyCampaign) *Plan {
 					Cycles: c.cycles(),
 					Seed:   fault.DeriveSeed(c.Seed, uint64(bi), uint64(k), uint64(rate)),
 				}
-				jobs = append(jobs, Job{Bench: b, Kind: JobSafety, Config: Config{
-					Tight:     true,
-					Instances: c.instances(),
-					Fault:     &spec,
-					Label:     fmt.Sprintf("safety/%s/%s", b.Name, spec),
-				}})
+				jobs = append(jobs, Job{Bench: b, Kind: JobSafety, Config: NewConfig(
+					WithTightDeadline(true),
+					WithInstances(c.instances()),
+					WithFaultSpec(spec),
+					WithLabel(fmt.Sprintf("safety/%s/%s", b.Name, spec)),
+				)})
 			}
 		}
 	}
@@ -185,12 +185,23 @@ func SafetyCampaignPlan(benches []*clab.Benchmark, c SafetyCampaign) *Plan {
 // bookkeeping that proves the safety property held.
 func renderTableS(r *Report) string {
 	var b strings.Builder
+	b.WriteString(FormatSafetyRows(r.SafetyRows()))
+	ok := len(r.SafetyRows())
+	fmt.Fprintf(&b, "\n%d/%d cells passed the safety assertions.\n", ok, len(r.Plan.Jobs))
+	return b.String()
+}
+
+// FormatSafetyRows renders safety-campaign rows like the paper's tables:
+// one line per (benchmark, fault) cell with the injection volume and the
+// recovery bookkeeping that proves the safety property held.
+func FormatSafetyRows(rows []SafetyRow) string {
+	var b strings.Builder
 	fmt.Fprintf(&b, "TABLE S. Safety campaign: seeded fault injection, tight deadline.\n")
 	fmt.Fprintf(&b, "Every row passed: zero deadline violations, zero WCET exceedances,\n")
 	fmt.Fprintf(&b, "every complex-core overrun answered by a simple-mode switch.\n\n")
 	fmt.Fprintf(&b, "%-8s %-20s %10s %8s %8s %10s %8s\n",
 		"bench", "fault", "cx.faults", "cx.miss", "cx.simp", "sf.faults", "sf.miss")
-	for _, row := range r.SafetyRows() {
+	for _, row := range rows {
 		// The per-job seed is derived, so the table shows the readable
 		// kind:rate:cycles form; the full spec is in the labels/metrics.
 		fmt.Fprintf(&b, "%-8s %-20s %10d %8d %8d %10d %8d\n",
@@ -198,7 +209,5 @@ func renderTableS(r *Report) string {
 			row.Complex.Faults, row.Complex.Missed, row.Complex.SimpleModeTasks,
 			row.Simple.Faults, row.Simple.Missed)
 	}
-	ok := len(r.SafetyRows())
-	fmt.Fprintf(&b, "\n%d/%d cells passed the safety assertions.\n", ok, len(r.Plan.Jobs))
 	return b.String()
 }

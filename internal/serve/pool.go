@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+
+	"visa/internal/rt"
+)
+
+// ErrDraining reports that the server is shutting down and admits no new
+// work. Service mapping: 503 Service Unavailable.
+var ErrDraining = errors.New("serve: draining, not accepting jobs")
+
+// Pool is the bounded admission queue feeding a fixed worker set. Admission
+// is non-blocking: a full queue answers rt.ErrQueueFull immediately (the
+// HTTP layer turns that into 429 + Retry-After) instead of stacking
+// goroutines behind a mutex until the process dies. Drain closes intake,
+// lets the workers finish every job already admitted — queued or running —
+// and then returns.
+type Pool struct {
+	queue chan *jobState
+	run   func(*jobState)
+	wg    sync.WaitGroup
+
+	// mu guards draining against the queue close: enqueuers hold it shared,
+	// Drain exclusively, so no send can race the close.
+	mu       sync.RWMutex
+	draining bool
+}
+
+// NewPool starts workers goroutines serving a queue of the given depth.
+// run executes one job; it must not panic (the engine underneath already
+// converts job panics into errors).
+func NewPool(workers, depth int, run func(*jobState)) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pool{queue: make(chan *jobState, depth), run: run}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Enqueue admits one job, never blocking: rt.ErrQueueFull when the bounded
+// queue is at depth, ErrDraining after Drain began. This is the service's
+// per-request dispatch path.
+//
+//visa:hotpath
+func (p *Pool) Enqueue(j *jobState) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.draining {
+		return ErrDraining
+	}
+	select {
+	case p.queue <- j:
+		return nil
+	default:
+		return rt.ErrQueueFull
+	}
+}
+
+// Depth returns the number of admitted jobs not yet picked up by a worker.
+//
+//visa:hotpath
+func (p *Pool) Depth() int { return len(p.queue) }
+
+// dispatch hands the next admitted job to the calling worker; ok is false
+// once the queue is closed and empty (drain complete).
+//
+//visa:hotpath
+func (p *Pool) dispatch() (j *jobState, ok bool) {
+	j, ok = <-p.queue
+	return j, ok
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		j, ok := p.dispatch()
+		if !ok {
+			return
+		}
+		p.run(j)
+	}
+}
+
+// Drain stops intake and blocks until every admitted job has finished.
+// Safe to call once; subsequent Enqueues fail with ErrDraining.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

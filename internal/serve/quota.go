@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrQuotaExceeded reports a client over its submission quota. Service
+// mapping: 429 Too Many Requests + Retry-After.
+var ErrQuotaExceeded = errors.New("serve: client quota exceeded")
+
+// QuotaError carries the denial detail: which client and how long until a
+// token refills. It wraps ErrQuotaExceeded for errors.Is classification.
+type QuotaError struct {
+	Client     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("serve: client %q over quota, retry in %s", e.Client, e.RetryAfter)
+}
+
+func (e *QuotaError) Unwrap() error { return ErrQuotaExceeded }
+
+// Quotas is the per-client token-bucket admission controller: each client
+// holds up to Burst tokens, refilled at Rate tokens per second; a job
+// submission spends one. Clients are identified by an opaque string (the
+// X-Client-ID header, falling back to the peer address). A Rate <= 0
+// disables quota enforcement entirely.
+//
+// The bucket clock is the wall clock — admission control lives in service
+// time, not simulated time — injectable for tests via now.
+type Quotas struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuotas builds a controller granting rate jobs/second with the given
+// burst per client. rate <= 0 disables enforcement; burst < 1 is raised to
+// 1 (a client must be able to submit at all).
+func NewQuotas(rate float64, burst int) *Quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Quotas{
+		rate:  rate,
+		burst: float64(burst),
+		//visa:allow(detlint): admission control runs in wall-clock service time, not simulated time
+		now:     time.Now,
+		buckets: map[string]*bucket{},
+	}
+}
+
+// Allow spends one token of client's bucket. When the bucket is empty it
+// returns false and the wait until a token refills — the Retry-After the
+// HTTP layer sends with the 429.
+func (q *Quotas) Allow(client string) (ok bool, retryAfter time.Duration) {
+	if q == nil || q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * q.rate
+	if b.tokens > q.burst {
+		b.tokens = q.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	return false, wait
+}

@@ -1,0 +1,356 @@
+// Package serve is the simulation-as-a-service layer: it wraps rt.Engine
+// behind a persistent worker pool and an HTTP/JSON API (cmd/visad), turning
+// the in-process Plan/Job API into a long-running daemon that admits
+// simulation jobs from many clients.
+//
+// The unit of submission is a serialized rt.PlanSpec (POST /v1/jobs); the
+// unit of delivery is a job resource with a status document (GET
+// /v1/jobs/{id}) and an NDJSON event stream (GET /v1/jobs/{id}/stream)
+// carrying per-job results and coalesced counter.flush metrics as they
+// complete. Admission is controlled twice: per-client token quotas
+// (Quotas) and a bounded work queue (Pool) — both reject instantly with
+// typed errors the HTTP layer maps to statuses via errors.Is, never by
+// string matching.
+//
+// The engine's determinism guarantee becomes a service-level property:
+// however many engine workers a daemon runs (-j), a submitted plan's
+// report text and its event stream after plan-order replay (sort events by
+// plan index) are byte-identical — asserted end to end by the e2e tests
+// and cmd/visaload.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"visa/internal/obs"
+	"visa/internal/rt"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// EngineWorkers is the rt.Engine worker count per job (<= 0 selects
+	// NumCPU). Any value yields byte-identical responses.
+	EngineWorkers int
+
+	// PoolWorkers is the number of plans running concurrently (default 2).
+	PoolWorkers int
+
+	// QueueDepth bounds the admitted-but-not-running backlog (default 16).
+	QueueDepth int
+
+	// QuotaRate/QuotaBurst set the per-client token bucket (jobs per
+	// second / bucket size). Rate 0 disables quotas.
+	QuotaRate  float64
+	QuotaBurst int
+
+	// CycleBudget is the default per-task-instance simulated-cycle budget
+	// applied to every job that does not set its own — the service's
+	// timeout in the simulated-time domain (default DefaultCycleBudget;
+	// negative disables).
+	CycleBudget int64
+
+	// MaxBodyBytes bounds a submission body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// DefaultCycleBudget bounds one task instance to a billion simulated
+// cycles — far above any real benchmark instance, low enough that a
+// runaway plan cannot pin a worker forever.
+const DefaultCycleBudget = 1_000_000_000
+
+func (c Config) withDefaults() Config {
+	if c.PoolWorkers < 1 {
+		c.PoolWorkers = 2
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 16
+	}
+	if c.CycleBudget == 0 {
+		c.CycleBudget = DefaultCycleBudget
+	}
+	if c.CycleBudget < 0 {
+		c.CycleBudget = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Event is one NDJSON line of a job's stream. Type "metrics" carries one
+// buffered metrics record of plan-job Index (counter.flush records when
+// coalescing, which the engine always enables here); "job" marks plan-job
+// Index complete; "report" carries the merged plan-order report text;
+// "done" closes the stream. Events arrive in completion order — replaying
+// them sorted by Index reconstructs the deterministic plan-order stream.
+type Event struct {
+	Type   string          `json:"type"`
+	Index  int             `json:"index,omitempty"`
+	OK     bool            `json:"ok,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Record json.RawMessage `json:"record,omitempty"`
+	Text   string          `json:"text,omitempty"`
+	Failed int             `json:"failed,omitempty"`
+	Status Status          `json:"status,omitempty"`
+}
+
+// jobState is one submitted plan's lifecycle: spec and materialized plan,
+// the accumulating event log, and the final report.
+type jobState struct {
+	id     string
+	client string
+	spec   rt.PlanSpec
+	plan   *rt.Plan
+
+	mu     sync.Mutex
+	notify chan struct{} // closed and replaced on every append/state change
+	status Status
+	events []Event
+	report string
+	failed int
+	errMsg string
+}
+
+func newJobState(id, client string, spec rt.PlanSpec, plan *rt.Plan) *jobState {
+	return &jobState{
+		id: id, client: client, spec: spec, plan: plan,
+		status: StatusQueued, notify: make(chan struct{}),
+	}
+}
+
+// signal wakes every stream waiting on this job. Callers hold j.mu.
+func (j *jobState) signal() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+func (j *jobState) setStatus(s Status) {
+	j.mu.Lock()
+	j.status = s
+	j.signal()
+	j.mu.Unlock()
+}
+
+func (j *jobState) append(evs ...Event) {
+	j.mu.Lock()
+	j.events = append(j.events, evs...)
+	j.signal()
+	j.mu.Unlock()
+}
+
+// next returns the events after cursor, whether the job reached a terminal
+// state, and a channel that closes on the next change — the stream
+// handler's long-poll primitive.
+func (j *jobState) next(cursor int) (evs []Event, terminal bool, wait <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cursor < len(j.events) {
+		evs = j.events[cursor:len(j.events):len(j.events)]
+	}
+	return evs, j.status == StatusDone || j.status == StatusFailed, j.notify
+}
+
+// Server owns the job store, the admission layers, and the engine
+// configuration. Build with New, mount Handler on an http.Server, and call
+// Drain on shutdown.
+type Server struct {
+	cfg    Config
+	pool   *Pool
+	quotas *Quotas
+	reg    *obs.Registry
+
+	mu     sync.Mutex
+	jobs   map[string]*jobState
+	nextID int
+
+	draining atomic.Bool
+	running  atomic.Int64
+
+	submitted     atomic.Int64
+	rejectedQuota atomic.Int64
+	rejectedQueue atomic.Int64
+	rejectedSpec  atomic.Int64
+	completed     atomic.Int64
+	failed        atomic.Int64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		quotas: NewQuotas(cfg.QuotaRate, cfg.QuotaBurst),
+		jobs:   map[string]*jobState{},
+	}
+	s.pool = NewPool(cfg.PoolWorkers, cfg.QueueDepth, s.runJob)
+	s.reg = obs.NewRegistry()
+	s.reg.Counter("serve.jobs.submitted", s.submitted.Load)
+	s.reg.Counter("serve.jobs.rejected_quota", s.rejectedQuota.Load)
+	s.reg.Counter("serve.jobs.rejected_queue", s.rejectedQueue.Load)
+	s.reg.Counter("serve.jobs.rejected_spec", s.rejectedSpec.Load)
+	s.reg.Counter("serve.jobs.completed", s.completed.Load)
+	s.reg.Counter("serve.jobs.failed", s.failed.Load)
+	s.reg.Counter("serve.jobs.running", s.running.Load)
+	s.reg.Counter("serve.queue.depth", func() int64 { return int64(s.pool.Depth()) })
+	return s
+}
+
+// Submit validates, admits, and enqueues one plan spec for client,
+// returning the job ID. Errors wrap rt.ErrInvalidSpec (malformed spec),
+// ErrQuotaExceeded (client over quota), rt.ErrQueueFull (backlog full), or
+// ErrDraining (shutting down).
+func (s *Server) Submit(client string, spec rt.PlanSpec) (string, error) {
+	if s.draining.Load() {
+		return "", ErrDraining
+	}
+	plan, err := materialize(spec)
+	if err != nil {
+		s.rejectedSpec.Add(1)
+		return "", err
+	}
+	if ok, wait := s.quotas.Allow(client); !ok {
+		s.rejectedQuota.Add(1)
+		return "", &QuotaError{Client: client, RetryAfter: wait}
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	j := newJobState(id, client, spec, plan)
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if err := s.pool.Enqueue(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		if err == rt.ErrQueueFull {
+			s.rejectedQueue.Add(1)
+		}
+		return "", err
+	}
+	s.submitted.Add(1)
+	return id, nil
+}
+
+// Job returns the job state for id (nil when unknown).
+func (s *Server) job(id string) *jobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// materialize builds the executable plan, defaulting empty job labels —
+// the engine attaches metrics to every service run, and metrics-attached
+// configs require attributable labels.
+func materialize(spec rt.PlanSpec) (*rt.Plan, error) {
+	plan, err := spec.Plan()
+	if err != nil {
+		return nil, err
+	}
+	for i := range plan.Jobs {
+		if plan.Jobs[i].Run == nil && plan.Jobs[i].Config.Label == "" {
+			plan.Jobs[i].Config.Label = fmt.Sprintf("%s/job%d", plan.Name, i)
+		}
+	}
+	return plan, nil
+}
+
+// runJob executes one admitted plan on a fresh engine, streaming per-job
+// events through the engine's completion hook.
+func (s *Server) runJob(j *jobState) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	j.setStatus(StatusRunning)
+
+	eng := &rt.Engine{
+		Workers:     s.cfg.EngineWorkers,
+		Sink:        &obs.Sink{Metrics: obs.NewRecordBuffer()},
+		Coalesce:    &obs.CoalesceOptions{},
+		CycleBudget: s.cfg.CycleBudget,
+		OnJobDone: func(i int, _ rt.JobResult, recs []obs.Record, err error) {
+			j.append(jobEvents(i, recs, err)...)
+		},
+	}
+	rep, err := eng.Run(j.plan)
+	if err != nil {
+		// Hard failure (validation): no report at all.
+		j.mu.Lock()
+		j.errMsg = err.Error()
+		j.events = append(j.events, Event{Type: "done", Status: StatusFailed, Error: j.errMsg})
+		j.status = StatusFailed
+		j.signal()
+		j.mu.Unlock()
+		s.failed.Add(1)
+		return
+	}
+	j.mu.Lock()
+	j.report = rep.Text
+	j.failed = rep.Failed
+	j.events = append(j.events,
+		Event{Type: "report", Text: rep.Text, Failed: rep.Failed},
+		Event{Type: "done", Status: StatusDone})
+	j.status = StatusDone
+	j.signal()
+	j.mu.Unlock()
+	s.completed.Add(1)
+}
+
+// jobEvents renders one plan-job completion: its buffered metrics records
+// (in record order) then the completion marker.
+func jobEvents(i int, recs []obs.Record, err error) []Event {
+	evs := make([]Event, 0, len(recs)+1)
+	var buf bytes.Buffer
+	mw := obs.NewMetricsWriter(&buf, obs.FormatJSONL)
+	for _, rec := range recs {
+		buf.Reset()
+		mw.Write(rec)
+		if mw.Err() != nil {
+			break
+		}
+		evs = append(evs, Event{Type: "metrics", Index: i,
+			Record: json.RawMessage(bytes.TrimRight(bytes.Clone(buf.Bytes()), "\n"))})
+	}
+	done := Event{Type: "job", Index: i, OK: err == nil}
+	if err != nil {
+		done.Error = err.Error()
+	}
+	return append(evs, done)
+}
+
+// Drain stops admitting jobs, finishes every job already admitted (queued
+// or running), and returns — or gives up when ctx expires, leaving the
+// remaining jobs running.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.pool.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }

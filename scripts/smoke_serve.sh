@@ -1,0 +1,53 @@
+#!/bin/sh
+# smoke_serve.sh — end-to-end smoke for the simulation service: build
+# visad + visaload, start a daemon, hammer it with N concurrent clients
+# submitting the same plan (asserting byte-identical reports and stream
+# replays), check the health/metrics endpoints, then SIGTERM the daemon
+# and require a clean drain (exit 0).
+#
+# Usage: scripts/smoke_serve.sh [clients]
+set -eu
+
+CLIENTS="${1:-50}"
+GO="${GO:-go}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "smoke: building visad and visaload"
+"$GO" build -o "$TMP/visad" ./cmd/visad
+"$GO" build -o "$TMP/visaload" ./cmd/visaload
+
+"$TMP/visad" -addr 127.0.0.1:0 -j 2 -workers 4 -queue 64 2>"$TMP/visad.log" &
+VISAD_PID=$!
+
+# Wait for the daemon to report its ephemeral address.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*listening on \([^ ]*\).*/\1/p' "$TMP/visad.log")"
+    [ -n "$ADDR" ] && break
+    kill -0 "$VISAD_PID" 2>/dev/null || { cat "$TMP/visad.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "smoke: visad never listened"; cat "$TMP/visad.log"; exit 1; }
+BASE="http://$ADDR"
+echo "smoke: visad up at $BASE"
+
+echo "smoke: $CLIENTS concurrent clients, same plan, byte-identical reports"
+"$TMP/visaload" -addr "$BASE" -clients "$CLIENTS" -stream
+
+if command -v curl >/dev/null 2>&1; then
+    echo "smoke: health/metrics endpoints"
+    curl -fsS "$BASE/v1/healthz" | grep -q '"status":"ok"'
+    curl -fsS "$BASE/v1/metrics" | grep -q 'serve.jobs.completed'
+fi
+
+echo "smoke: SIGTERM drain"
+kill -TERM "$VISAD_PID"
+if ! wait "$VISAD_PID"; then
+    echo "smoke: visad exited nonzero after SIGTERM"
+    cat "$TMP/visad.log"
+    exit 1
+fi
+grep -q "drained" "$TMP/visad.log" || { echo "smoke: no drain confirmation"; cat "$TMP/visad.log"; exit 1; }
+
+echo "smoke: OK"
