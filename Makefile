@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs tier-serve tier-all vet fmt-check race test bench-engine bench-json clean
+.PHONY: all build tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs tier-serve tier-durable tier-all vet fmt-check race test bench-engine bench-json clean
 
 all: build
 
@@ -81,8 +81,20 @@ tier-serve:
 	$(GO) test ./cmd/visad/
 	./scripts/smoke_serve.sh
 
+# Tier durable: the crash-safety gate — the write-ahead journal package
+# (torn-tail sweep, corruption rejection, fuzz seeds, alloc-free append)
+# and the serve recovery suite under the race detector, the visad
+# SIGKILL/restart e2e, the chaos harness (3 seeded SIGKILLs mid-campaign
+# against a -race daemon, restart at rotating -j, byte-identical reports),
+# then the shell-level kill-and-restart smoke.
+tier-durable:
+	$(GO) test -race ./internal/wal/ ./internal/serve/
+	$(GO) test -race -run 'TestCrashRecovery' ./cmd/visad/
+	$(GO) run ./cmd/visachaos -race -kills 3 -seed 1
+	./scripts/smoke_recovery.sh
+
 # Tier all: every gate in one invocation.
-tier-all: tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs tier-serve
+tier-all: tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs tier-serve tier-durable
 
 # Records the serial-vs-parallel wall-clock of the full evaluation
 # (`experiments -all -n 20` equivalent; see bench_test.go).

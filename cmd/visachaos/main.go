@@ -1,0 +1,432 @@
+// Command visachaos is the crash-safety acceptance harness for visad: it
+// SIGKILLs a journaled daemon at seeded points mid-campaign, restarts it
+// at a different parallelism, resumes the event streams, and asserts that
+// every job's final merged plan-order report is byte-identical to an
+// uninterrupted run — proving a crash is observationally equivalent to a
+// slow response.
+//
+// Usage:
+//
+//	visachaos [-visad-src ./cmd/visad] [-race] [-kills 3] [-seed 1]
+//	          [-plans 4] [-jobs 3] [-timeout 5m]
+//
+// The harness builds visad from -visad-src (with -race when asked), runs
+// the campaign once uninterrupted at -j 1 to capture reference reports and
+// plan-order replays, then replays the campaign against a journaled
+// daemon, killing it -kills times at points derived from -seed (how many
+// plans to submit and how many stream events to consume before each kill)
+// and restarting at a rotating -j. After the last restart every job must
+// reach done with a report byte-identical to the reference; jobs whose
+// event log survived in full (re-run after the final kill, or never
+// interrupted) must also match the reference plan-order replay, and jobs
+// rehydrated from the journal must carry the reference report hash.
+//
+// Exit status 0 means every assertion held; any divergence, lost job, or
+// recovery failure exits 1 with a diagnostic.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"visa/internal/serve"
+)
+
+func main() {
+	visadSrc := flag.String("visad-src", "./cmd/visad", "visad package path to build")
+	race := flag.Bool("race", false, "build visad with -race")
+	kills := flag.Int("kills", 3, "SIGKILLs injected mid-campaign (>= 3 for acceptance)")
+	seed := flag.Uint64("seed", 1, "kill-point schedule seed")
+	plans := flag.Int("plans", 4, "plans submitted over the campaign")
+	jobs := flag.Int("jobs", 3, "jobs per plan")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall campaign deadline")
+	flag.Parse()
+
+	if err := run(*visadSrc, *race, *kills, *seed, *plans, *jobs, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "visachaos: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func run(visadSrc string, race bool, kills int, seed uint64, plans, jobsPerPlan int, timeout time.Duration) error {
+	if kills < 1 || plans < 1 {
+		return fmt.Errorf("need at least 1 kill and 1 plan")
+	}
+	tmp, err := os.MkdirTemp("", "visachaos")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	//visa:allow(detlint): a chaos harness lives in wall-clock service time
+	deadline := time.Now().Add(timeout)
+
+	bin := filepath.Join(tmp, "visad")
+	args := []string{"build"}
+	if race {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, visadSrc)
+	if out, err := exec.Command("go", args...).CombinedOutput(); err != nil {
+		return fmt.Errorf("go build %s: %v\n%s", visadSrc, err, out)
+	}
+
+	bodies := make([]string, plans)
+	for p := range bodies {
+		bodies[p] = planJSON(p, jobsPerPlan)
+	}
+
+	// Reference: the same campaign uninterrupted at -j 1.
+	fmt.Println("visachaos: reference campaign (-j 1, no journal)")
+	ref, err := startDaemon(bin, "-j", "1")
+	if err != nil {
+		return err
+	}
+	refReports := make([]jobResult, plans)
+	for p, body := range bodies {
+		id, err := submit(ref.base, body)
+		if err != nil {
+			ref.kill()
+			return fmt.Errorf("reference submit %d: %w", p, err)
+		}
+		replay, _, err := streamReplay(ref.base, id)
+		if err != nil {
+			ref.kill()
+			return fmt.Errorf("reference stream %d: %w", p, err)
+		}
+		jr, err := waitJob(ref.base, id, deadline)
+		if err != nil {
+			ref.kill()
+			return fmt.Errorf("reference job %d: %w", p, err)
+		}
+		refReports[p] = jobResult{report: jr.Report, hash: jr.ReportHash, replay: replay}
+	}
+	ref.kill()
+
+	// Chaos campaign: journaled daemon, SIGKILL at seeded points, restart
+	// at rotating parallelism.
+	journal := filepath.Join(tmp, "visad.wal")
+	parallelism := []string{"2", "4", "3", "1"}
+	rng := seed
+	d, err := startDaemon(bin, "-j", parallelism[0], "-journal", journal)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("visachaos: chaos campaign: %d plans, %d kills, journal %s\n", plans, kills, journal)
+
+	ids := make([]string, 0, plans) // plan index -> job id, filled in order
+	next := 0                       // next plan to submit
+	for k := 0; k < kills; k++ {
+		// Seeded point: submit 1..2 plans (bounded by what's left), then
+		// consume 1..8 stream events of the newest job before the kill.
+		submitN := 1 + int(splitmix64(&rng)%2)
+		for s := 0; s < submitN && next < plans; s++ {
+			id, err := submitRetry(d.base, bodies[next], deadline)
+			if err != nil {
+				d.kill()
+				return fmt.Errorf("chaos submit %d: %w", next, err)
+			}
+			ids = append(ids, id)
+			next++
+		}
+		consume := 1 + int(splitmix64(&rng)%8)
+		if len(ids) > 0 {
+			consumeEvents(d.base, ids[len(ids)-1], consume)
+		}
+		fmt.Printf("visachaos: kill %d/%d (SIGKILL after %d plans submitted, %d events consumed)\n",
+			k+1, kills, len(ids), consume)
+		d.kill()
+		jn := parallelism[(k+1)%len(parallelism)]
+		d, err = startDaemon(bin, "-j", jn, "-journal", journal)
+		if err != nil {
+			return fmt.Errorf("restart %d: %w", k+1, err)
+		}
+		fmt.Printf("visachaos: restarted at -j %s: %s\n", jn, d.recoveryLine())
+	}
+	// Submit whatever the kill schedule did not reach.
+	for ; next < plans; next++ {
+		id, err := submitRetry(d.base, bodies[next], deadline)
+		if err != nil {
+			d.kill()
+			return fmt.Errorf("tail submit %d: %w", next, err)
+		}
+		ids = append(ids, id)
+	}
+
+	// Every plan must converge to the reference, streams resumed on the
+	// final daemon.
+	var failures []string
+	fullReplays := 0
+	for p, id := range ids {
+		jr, err := waitJob(d.base, id, deadline)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("plan %d (%s): %v", p, id, err))
+			continue
+		}
+		want := refReports[p]
+		if jr.Report != want.report {
+			failures = append(failures, fmt.Sprintf("plan %d (%s): report differs from uninterrupted run", p, id))
+		}
+		if jr.ReportHash != want.hash {
+			failures = append(failures, fmt.Sprintf("plan %d (%s): report hash %q != reference %q", p, id, jr.ReportHash, want.hash))
+		}
+		replay, full, err := streamReplay(d.base, id)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("plan %d (%s): stream: %v", p, id, err))
+			continue
+		}
+		// A full event log (job ran to completion on some daemon without
+		// its in-memory state being lost) must replay byte-identically; a
+		// rehydrated log is just report+done, already hash-verified.
+		if full {
+			fullReplays++
+			if !bytes.Equal(replay, want.replay) {
+				failures = append(failures, fmt.Sprintf("plan %d (%s): plan-order replay differs from uninterrupted run", p, id))
+			}
+		}
+	}
+	d.kill()
+	if len(failures) > 0 {
+		return fmt.Errorf("%d divergences:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("visachaos: OK: %d plans byte-identical across %d SIGKILLs (%d full replays matched)\n",
+		plans, kills, fullReplays)
+	return nil
+}
+
+type jobResult struct {
+	report string
+	hash   string
+	replay []byte
+}
+
+// splitmix64 drives the seeded kill schedule (same constant stream as
+// visaload's jitter; duplicated because both are main packages).
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func planJSON(p, jobs int) string {
+	var specs []string
+	for i := 0; i < jobs; i++ {
+		specs = append(specs, fmt.Sprintf(
+			`{"version":1,"bench":"cnt","config":{"instances":3,"label":"chaos/p%d/cnt%d"}}`, p, i))
+	}
+	return fmt.Sprintf(`{"version":1,"kind":"custom","name":"chaos-%d","jobs":[%s]}`,
+		p, strings.Join(specs, ","))
+}
+
+// daemon is one visad child.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string
+	stderr *bytes.Buffer
+}
+
+// startDaemon launches visad on an ephemeral port and waits for health.
+func startDaemon(bin string, extra ...string) (*daemon, error) {
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	d := &daemon{cmd: cmd, stderr: &bytes.Buffer{}}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sent := false
+		for sc.Scan() {
+			line := sc.Text()
+			d.stderr.WriteString(line + "\n")
+			if !sent {
+				if i := strings.Index(line, "listening on "); i >= 0 {
+					addrCh <- strings.Fields(line[i+len("listening on "):])[0]
+					sent = true
+				}
+			}
+		}
+		if !sent {
+			close(addrCh)
+		}
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			d.kill()
+			return nil, fmt.Errorf("visad exited before listening:\n%s", d.stderr.String())
+		}
+		d.base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		d.kill()
+		return nil, fmt.Errorf("visad did not report a listen address")
+	}
+	//visa:allow(detlint): health polling is wall-clock service time
+	healthBy := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return d, nil
+		}
+		//visa:allow(detlint): health polling is wall-clock service time
+		if time.Now().After(healthBy) {
+			d.kill()
+			return nil, fmt.Errorf("visad not healthy: %v", err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the daemon and reaps it — the crash under test, no drain.
+func (d *daemon) kill() {
+	d.cmd.Process.Kill() //visa:allow(errlint): the process may already be gone; either way it is dead
+	d.cmd.Wait()         //visa:allow(errlint): SIGKILL always reports an unclean exit; reaping is the point
+}
+
+// recoveryLine returns the daemon's journal recovery stderr line.
+func (d *daemon) recoveryLine() string {
+	for _, line := range strings.Split(d.stderr.String(), "\n") {
+		if strings.Contains(line, "journal ") {
+			return strings.TrimSpace(line)
+		}
+	}
+	return "(no recovery line)"
+}
+
+func submit(base, body string) (string, error) {
+	req, err := http.NewRequest("POST", base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("X-Client-ID", "chaos")
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return "", fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var sr serve.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return "", err
+	}
+	return sr.ID, nil
+}
+
+// submitRetry retries transient submit failures (429 backlog) until the
+// deadline.
+func submitRetry(base, body string, deadline time.Time) (string, error) {
+	var last error
+	//visa:allow(detlint): retry loop against the campaign's wall-clock deadline
+	for time.Now().Before(deadline) {
+		id, err := submit(base, body)
+		if err == nil {
+			return id, nil
+		}
+		last = err
+		time.Sleep(100 * time.Millisecond)
+	}
+	return "", fmt.Errorf("deadline exceeded: %w", last)
+}
+
+func waitJob(base, id string, deadline time.Time) (serve.JobResponse, error) {
+	//visa:allow(detlint): polling deadline against the wall clock
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return serve.JobResponse{}, err
+		}
+		var jr serve.JobResponse
+		err = json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		if err != nil {
+			return serve.JobResponse{}, err
+		}
+		switch jr.Status {
+		case serve.StatusDone:
+			return jr, nil
+		case serve.StatusFailed:
+			return jr, fmt.Errorf("job failed: %s", jr.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return serve.JobResponse{}, fmt.Errorf("job %s: deadline exceeded", id)
+}
+
+// consumeEvents reads up to n NDJSON events from the job's stream and
+// abandons the connection — the daemon is about to be SIGKILLed anyway.
+func consumeEvents(base, id string, n int) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for i := 0; i < n && sc.Scan(); i++ {
+	}
+}
+
+// streamReplay consumes the stream to completion and returns the
+// plan-order replay plus whether the log was a full run (per-job events
+// present) rather than a journal-rehydrated report+done pair.
+func streamReplay(base, id string) (replay []byte, full bool, err error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("stream: %s", resp.Status)
+	}
+	var per, tail []serve.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var ev serve.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, false, fmt.Errorf("bad NDJSON line: %v", err)
+		}
+		if ev.Type == "metrics" || ev.Type == "job" {
+			per = append(per, ev)
+		} else {
+			tail = append(tail, ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, false, err
+	}
+	if len(tail) == 0 || tail[len(tail)-1].Type != "done" {
+		return nil, false, fmt.Errorf("stream did not end with done")
+	}
+	sort.SliceStable(per, func(i, j int) bool { return per[i].Index < per[j].Index })
+	var out bytes.Buffer
+	enc := json.NewEncoder(&out)
+	for _, ev := range append(per, tail...) {
+		if err := enc.Encode(ev); err != nil {
+			return nil, false, err
+		}
+	}
+	return out.Bytes(), len(per) > 0, nil
+}

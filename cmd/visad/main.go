@@ -6,6 +6,7 @@
 //
 //	visad [-addr :8080] [-j NumCPU] [-workers 2] [-queue 16]
 //	      [-quota-rate 0] [-quota-burst 1] [-budget 1e9]
+//	      [-journal path] [-journal-sync always|never] [-queue-timeout 0]
 //
 // API (see internal/serve):
 //
@@ -28,6 +29,17 @@
 // On SIGTERM/SIGINT the daemon drains: new submissions get 503 while every
 // already-admitted job runs to completion (bounded by -drain-timeout),
 // then the process exits 0.
+//
+// With -journal the daemon is crash-safe: every admitted plan is appended
+// to an append-only write-ahead journal before it is queued, and every
+// completion (report hash + terminal status) is appended before it becomes
+// observable. After a crash — SIGKILL, power loss — restarting with the
+// same -journal replays the log, marks completed jobs done (reports intact,
+// hashes verified), and re-runs incomplete ones; determinism makes the
+// re-run byte-identical, so a crash is observationally equivalent to a
+// slow response. -journal-sync picks the fsync policy: "always" (default,
+// one fsync per record — survives OS/power failure) or "never" (page-cache
+// only — survives process crash, not kernel crash).
 package main
 
 import (
@@ -44,6 +56,7 @@ import (
 	"time"
 
 	"visa/internal/serve"
+	"visa/internal/wal"
 )
 
 func main() {
@@ -57,16 +70,35 @@ func main() {
 		"per-task-instance simulated-cycle budget (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute,
 		"how long shutdown waits for admitted jobs before giving up")
+	journal := flag.String("journal", "",
+		"write-ahead journal path; enables crash recovery (empty disables)")
+	journalSync := flag.String("journal-sync", "always",
+		"journal fsync policy: always|never")
+	queueTimeout := flag.Duration("queue-timeout", 0,
+		"admission deadline: jobs queued longer fail with 504 (0 disables)")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	syncPolicy, err := wal.ParseSyncPolicy(*journalSync)
+	if err != nil {
+		fatal(err)
+	}
+	srv, recovery, err := serve.Open(serve.Config{
 		EngineWorkers: *j,
 		PoolWorkers:   *workers,
 		QueueDepth:    *queue,
 		QuotaRate:     *quotaRate,
 		QuotaBurst:    *quotaBurst,
 		CycleBudget:   *budget,
+		QueueTimeout:  *queueTimeout,
+		JournalPath:   *journal,
+		JournalSync:   syncPolicy,
 	})
+	if err != nil {
+		fatal(fmt.Errorf("journal recovery: %w", err))
+	}
+	if *journal != "" {
+		fmt.Fprintf(os.Stderr, "visad: journal %s (%s)\n", *journal, recovery)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

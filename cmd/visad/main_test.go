@@ -297,6 +297,85 @@ func TestSIGTERMDrains(t *testing.T) {
 	}
 }
 
+// waitJob polls a job to a terminal state and returns the full response.
+func waitJob(t *testing.T, base, id string) serve.JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr serve.JobResponse
+		err = json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.Status == serve.StatusDone || jr.Status == serve.StatusFailed {
+			return jr
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("job did not reach a terminal state")
+	return serve.JobResponse{}
+}
+
+// TestCrashRecoveryByteIdentical is the crash-safety e2e: SIGKILL the
+// daemon right after a journaled submission, restart on the same journal
+// at a different -j, and the recovered job's report is byte-identical to
+// an uninterrupted run — a crash is observationally a slow response.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	bin := buildVisad(t)
+	body := planJSON(4)
+
+	// Reference: uninterrupted run, no journal, -j 1.
+	ref := startVisad(t, bin, "-j", "1")
+	refResp := waitJob(t, ref.base, submitPlan(t, ref.base, "crash", body).ID)
+	if refResp.Status != serve.StatusDone {
+		t.Fatalf("reference run failed: %s", refResp.Error)
+	}
+
+	journal := filepath.Join(t.TempDir(), "visad.wal")
+	d1 := startVisad(t, bin, "-j", "1", "-journal", journal)
+	sr := submitPlan(t, d1.base, "crash", body)
+	// SIGKILL immediately: the admit record is durable (the 202 implies a
+	// synced append), the completion almost certainly is not.
+	d1.cmd.Process.Kill()
+	d1.cmd.Wait()
+
+	// Restart on the same journal at a different parallelism.
+	d2 := startVisad(t, bin, "-j", "4", "-journal", journal)
+	if !strings.Contains(d2.stderr.buf.String(), "journal "+journal) {
+		t.Errorf("restart stderr missing recovery summary:\n%s", d2.stderr.buf.String())
+	}
+	jr := waitJob(t, d2.base, sr.ID)
+	if jr.Status != serve.StatusDone {
+		t.Fatalf("recovered job failed: %s", jr.Error)
+	}
+	if !jr.Recovered {
+		t.Error("recovered job not flagged recovered")
+	}
+	if jr.Report != refResp.Report {
+		t.Errorf("recovered report differs from uninterrupted run:\n--- recovered\n%s\n--- reference\n%s",
+			jr.Report, refResp.Report)
+	}
+	if jr.ReportHash == "" || jr.ReportHash != refResp.ReportHash {
+		t.Errorf("report hash mismatch: %q vs %q", jr.ReportHash, refResp.ReportHash)
+	}
+
+	// Third start: the completion is journaled now, so the job rehydrates
+	// done without re-running, report intact.
+	d2.cmd.Process.Kill()
+	d2.cmd.Wait()
+	d3 := startVisad(t, bin, "-j", "2", "-journal", journal)
+	jr3 := waitJob(t, d3.base, sr.ID)
+	if jr3.Status != serve.StatusDone || jr3.Report != refResp.Report || !jr3.Recovered {
+		t.Errorf("rehydrated job wrong: status=%s recovered=%v reportMatch=%v",
+			jr3.Status, jr3.Recovered, jr3.Report == refResp.Report)
+	}
+}
+
 // TestVisaloadAgainstDaemon drives the load generator at a live daemon —
 // the N-concurrent-clients byte-identical acceptance check, binary to
 // binary.

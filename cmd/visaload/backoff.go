@@ -1,0 +1,64 @@
+package main
+
+import "time"
+
+// backoff computes retry delays for one client: capped exponential growth
+// from base with deterministic jitter drawn from a splitmix64 stream
+// seeded per client. An exact server Retry-After always wins — the server
+// knows its backlog better than any client-side guess — and the schedule
+// is a pure function of (base, cap, seed, attempt, retryAfter), so a run
+// with a fixed -seed replays the identical sleep pattern.
+type backoff struct {
+	base    time.Duration
+	cap     time.Duration
+	attempt int
+	state   uint64
+}
+
+func newBackoff(base, cap time.Duration, seed uint64) *backoff {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	return &backoff{base: base, cap: cap, state: seed}
+}
+
+// next returns the delay before the attempt-th retry. retryAfter > 0 (an
+// exact server hint) is honored verbatim and still advances the attempt
+// counter, so a later hint-less 429 backs off from where the schedule
+// actually is. Without a hint the delay is uniform in [d/2, d] where
+// d = min(cap, base<<attempt) — decorrelating clients that saw the same
+// 429 burst while keeping at least half the nominal wait.
+func (b *backoff) next(retryAfter time.Duration) time.Duration {
+	b.attempt++
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	d := b.cap
+	// base<<k overflows past ~63 shifts; stop doubling once past cap.
+	if shift := uint(b.attempt - 1); shift < 40 && b.base<<shift < b.cap {
+		d = b.base << shift
+	}
+	half := d / 2
+	return half + time.Duration(splitmix64(&b.state)%uint64(half+1))
+}
+
+// splitmix64 is the standard 64-bit mix (Steele et al.): tiny, seedable,
+// and deterministic — exactly what a replayable jitter stream needs.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// clientSeed derives a per-client jitter seed from the run seed: clients
+// must not share a stream, or they all jitter identically and the
+// thundering herd survives.
+func clientSeed(runSeed uint64, client int) uint64 {
+	s := runSeed + uint64(client)*0x9E3779B97F4A7C15
+	return splitmix64(&s)
+}

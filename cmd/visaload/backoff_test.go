@@ -1,0 +1,102 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule pins the schedule's shape: exponential doubling
+// capped at -backoff-cap, every hint-less delay within [d/2, d].
+func TestBackoffSchedule(t *testing.T) {
+	base, cap := 100*time.Millisecond, 2*time.Second
+	b := newBackoff(base, cap, 42)
+	nominal := base
+	for i := 0; i < 12; i++ {
+		d := b.next(0)
+		if d < nominal/2 || d > nominal {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", i+1, d, nominal/2, nominal)
+		}
+		if nominal < cap {
+			nominal *= 2
+			if nominal > cap {
+				nominal = cap
+			}
+		}
+	}
+	// Far past the doubling range: still capped, no overflow.
+	b.attempt = 1000
+	if d := b.next(0); d < cap/2 || d > cap {
+		t.Errorf("attempt 1000: delay %v outside [%v, %v]", d, cap/2, cap)
+	}
+}
+
+// TestBackoffDeterministic: same seed → identical schedule (replayable
+// runs); different seeds → decorrelated schedules (no thundering herd).
+func TestBackoffDeterministic(t *testing.T) {
+	sched := func(seed uint64) []time.Duration {
+		b := newBackoff(time.Millisecond, time.Second, seed)
+		out := make([]time.Duration, 16)
+		for i := range out {
+			out[i] = b.next(0)
+		}
+		return out
+	}
+	a, b2 := sched(7), sched(7)
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b2[i])
+		}
+	}
+	c := sched(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestBackoffHonorsRetryAfter: an exact server hint is used verbatim —
+// no jitter, no scaling — and still advances the attempt counter.
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	b := newBackoff(100*time.Millisecond, 10*time.Second, 1)
+	if d := b.next(3 * time.Second); d != 3*time.Second {
+		t.Errorf("Retry-After 3s gave %v", d)
+	}
+	if b.attempt != 1 {
+		t.Errorf("attempt = %d after hinted retry, want 1", b.attempt)
+	}
+	// The hint-less delay after one hinted round starts from attempt 2's
+	// nominal (200ms), not attempt 1's.
+	if d := b.next(0); d < 100*time.Millisecond || d > 200*time.Millisecond {
+		t.Errorf("post-hint delay %v outside [100ms, 200ms]", d)
+	}
+}
+
+// TestBackoffDefaults: degenerate configs are normalized rather than
+// producing zero or inverted windows.
+func TestBackoffDefaults(t *testing.T) {
+	b := newBackoff(0, 0, 1)
+	if d := b.next(0); d <= 0 {
+		t.Errorf("zero config produced delay %v", d)
+	}
+	if b.cap < b.base {
+		t.Errorf("cap %v < base %v after normalization", b.cap, b.base)
+	}
+}
+
+// TestClientSeedsDistinct: per-client seeds differ so jitter streams
+// decorrelate.
+func TestClientSeedsDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for c := 0; c < 100; c++ {
+		s := clientSeed(1, c)
+		if seen[s] {
+			t.Fatalf("duplicate client seed at %d", c)
+		}
+		seen[s] = true
+	}
+}

@@ -7,12 +7,19 @@
 // Usage:
 //
 //	visaload [-addr http://localhost:8080] [-clients 50] [-plan spec.json]
-//	         [-stream] [-timeout 5m]
+//	         [-stream] [-timeout 5m] [-backoff-base 100ms] [-backoff-cap 5s]
+//	         [-seed 1]
 //
 // Without -plan a small built-in comparison plan is used. With -stream
 // each client also consumes the NDJSON event stream and the tool asserts
 // the plan-order replays are identical across clients. Exits nonzero on
 // any submission failure, job failure, or report mismatch.
+//
+// 429 handling: an exact Retry-After from the server is honored verbatim;
+// without one, clients back off on a capped exponential schedule with
+// deterministic per-client jitter seeded from -seed, so a run replays the
+// identical sleep pattern and a 429 burst never re-synchronizes into a
+// thundering herd.
 package main
 
 import (
@@ -39,6 +46,11 @@ func main() {
 	planPath := flag.String("plan", "", "plan spec JSON file (default: built-in comparison plan)")
 	stream := flag.Bool("stream", false, "also consume and compare NDJSON event streams")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-client overall deadline")
+	backoffBase := flag.Duration("backoff-base", 100*time.Millisecond,
+		"first hint-less 429 backoff (doubles per retry)")
+	backoffCap := flag.Duration("backoff-cap", 5*time.Second,
+		"ceiling for the exponential backoff")
+	seed := flag.Uint64("seed", 1, "jitter seed; same seed replays the same backoff schedule")
 	flag.Parse()
 
 	spec, err := loadPlan(*planPath)
@@ -69,6 +81,7 @@ func main() {
 				base: *addr, id: fmt.Sprintf("load-%d", c),
 				http:     &http.Client{Timeout: *timeout},
 				deadline: start.Add(*timeout),
+				backoff:  newBackoff(*backoffBase, *backoffCap, clientSeed(*seed, c)),
 			}
 			id, retries, err := cl.submit(body)
 			r.retries = retries
@@ -148,10 +161,13 @@ type client struct {
 	id       string
 	http     *http.Client
 	deadline time.Time
+	backoff  *backoff
 }
 
-// submit posts the plan, backing off per Retry-After on 429 until the
-// deadline. Returns the job ID and how many 429 rounds it absorbed.
+// submit posts the plan, backing off on 429 until the deadline: an exact
+// Retry-After is honored verbatim, otherwise the client's capped
+// exponential schedule with deterministic jitter decides. Returns the job
+// ID and how many 429 rounds it absorbed.
 func (c *client) submit(body []byte) (id string, retries int, err error) {
 	for {
 		req, err := http.NewRequest("POST", c.base+"/v1/jobs", bytes.NewReader(body))
@@ -173,15 +189,16 @@ func (c *client) submit(body []byte) (id string, retries int, err error) {
 		case http.StatusTooManyRequests:
 			ra := resp.Header.Get("Retry-After")
 			resp.Body.Close()
-			secs, err := strconv.Atoi(ra)
-			if err != nil || secs < 1 {
-				secs = 1
+			var hint time.Duration
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 1 {
+				hint = time.Duration(secs) * time.Second
 			}
 			retries++
-			//visa:allow(detlint): Retry-After backoff is wall-clock by definition
-			wake := time.Now().Add(time.Duration(secs) * time.Second)
+			delay := c.backoff.next(hint)
+			//visa:allow(detlint): 429 backoff is wall-clock by definition
+			wake := time.Now().Add(delay)
 			if wake.After(c.deadline) {
-				return "", retries, fmt.Errorf("deadline exceeded while backing off (429, Retry-After %s)", ra)
+				return "", retries, fmt.Errorf("deadline exceeded while backing off (429, Retry-After %q, delay %s)", ra, delay)
 			}
 			time.Sleep(time.Until(wake))
 		default:

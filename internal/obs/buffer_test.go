@@ -56,7 +56,36 @@ func TestRecordBufferNilSafe(t *testing.T) {
 		t.Errorf("nil Records() = %v, want nil", got)
 	}
 	m.Replay(nil)
+	m.Reset()
 	buf := NewRecordBuffer()
 	buf.Write(Record{F("kind", "x")})
 	buf.Replay(nil)
+}
+
+// TestRecordBufferReset: Reset drains a buffer for batch consumers (the
+// service journal) while the lifetime Count keeps accumulating; streaming
+// writers ignore it.
+func TestRecordBufferReset(t *testing.T) {
+	buf := NewRecordBuffer()
+	buf.Write(Record{F("kind", "a")})
+	buf.Write(Record{F("kind", "b")})
+	buf.Reset()
+	if got := len(buf.Records()); got != 0 {
+		t.Fatalf("after Reset: %d records retained, want 0", got)
+	}
+	buf.Write(Record{F("kind", "c")})
+	if got := buf.Records(); len(got) != 1 || got[0].Get("kind") != "c" {
+		t.Fatalf("post-Reset write: records = %v", got)
+	}
+	if buf.Count() != 3 {
+		t.Errorf("lifetime Count = %d, want 3", buf.Count())
+	}
+
+	var out bytes.Buffer
+	sw := NewMetricsWriter(&out, FormatJSONL)
+	sw.Write(Record{F("kind", "stream")})
+	sw.Reset() // no-op on streaming writers
+	if out.Len() == 0 {
+		t.Error("streaming output vanished after Reset")
+	}
 }

@@ -115,6 +115,18 @@ func (m *MetricsWriter) Replay(dst *MetricsWriter) {
 	}
 }
 
+// Reset drops a buffered writer's retained records (keeping the backing
+// array for reuse) so long-lived consumers can drain the buffer in
+// batches without unbounded growth — the service journal drains flushed
+// counter records this way. No-op on nil and on streaming writers, whose
+// output cannot be unwritten.
+func (m *MetricsWriter) Reset() {
+	if m == nil || !m.buffer {
+		return
+	}
+	m.recs = m.recs[:0]
+}
+
 // Write emits one record. No-op on nil or after an error.
 func (m *MetricsWriter) Write(rec Record) {
 	if m == nil || m.err != nil {

@@ -1,0 +1,18 @@
+package rt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// ReportHash is the canonical content address of a report text: the
+// lowercase-hex SHA-256 of its bytes. Because report text is a
+// deterministic function of the plan (byte-identical for any worker
+// count, on any daemon), the hash is a portable completion witness: a
+// service journal records it alongside the terminal status, and recovery
+// verifies a rehydrated report against it — two runs of the same spec
+// agree on the hash or one of them is wrong.
+func ReportHash(text string) string {
+	sum := sha256.Sum256([]byte(text))
+	return hex.EncodeToString(sum[:])
+}

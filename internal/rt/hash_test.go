@@ -1,0 +1,22 @@
+package rt
+
+import "testing"
+
+func TestReportHash(t *testing.T) {
+	// Pinned vector: the empty text's SHA-256. If this moves, every
+	// journaled completion record in the wild is invalidated — treat the
+	// hash as a wire format.
+	const emptySHA = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+	if got := ReportHash(""); got != emptySHA {
+		t.Errorf("ReportHash(\"\") = %s, want %s", got, emptySHA)
+	}
+	if ReportHash("a") == ReportHash("b") {
+		t.Error("distinct texts collide")
+	}
+	if ReportHash("report") != ReportHash("report") {
+		t.Error("hash is not deterministic")
+	}
+	if len(ReportHash("x")) != 64 {
+		t.Errorf("hash length = %d, want 64 hex chars", len(ReportHash("x")))
+	}
+}

@@ -24,8 +24,14 @@ type JobResponse struct {
 	// Report is the engine's merged plan-order report text, present once
 	// the job is done — the byte-identical artifact across daemons.
 	Report string `json:"report,omitempty"`
-	Failed int    `json:"failed,omitempty"`
-	Error  string `json:"error,omitempty"`
+	// ReportHash is rt.ReportHash(Report): the content address journaled
+	// with the completion record and verified on recovery.
+	ReportHash string `json:"report_hash,omitempty"`
+	Failed     int    `json:"failed,omitempty"`
+	Error      string `json:"error,omitempty"`
+	// Recovered marks a job that crossed a daemon crash: rehydrated from
+	// the journal (done before the crash) or re-run after restart.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // HealthResponse is the GET /v1/healthz body.
@@ -94,6 +100,8 @@ func httpStatus(err error) (code int, retryAfter time.Duration) {
 		return http.StatusTooManyRequests, time.Second
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, 0
+	case errors.Is(err, ErrJobTimeout):
+		return http.StatusGatewayTimeout, 0
 	default:
 		return http.StatusInternalServerError, 0
 	}
@@ -143,7 +151,8 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	j.mu.Lock()
 	resp := JobResponse{ID: j.id, Status: j.status, Report: j.report,
-		Failed: j.failed, Error: j.errMsg}
+		ReportHash: j.reportHash, Failed: j.failed, Error: j.errMsg,
+		Recovered: j.recovered}
 	j.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }

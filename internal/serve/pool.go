@@ -91,7 +91,11 @@ func (p *Pool) worker() {
 }
 
 // Drain stops intake and blocks until every admitted job has finished.
-// Safe to call once; subsequent Enqueues fail with ErrDraining.
+// Idempotent: any number of calls, concurrent or sequential, each block
+// until the workers are done and then return — the queue is closed
+// exactly once under the exclusive lock, and concurrent Enqueues either
+// land before the close (and are executed) or fail with ErrDraining;
+// no send can race the close.
 func (p *Pool) Drain() {
 	p.mu.Lock()
 	if !p.draining {

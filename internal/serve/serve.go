@@ -23,12 +23,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"visa/internal/obs"
 	"visa/internal/rt"
+	"visa/internal/wal"
 )
 
 // Config parameterizes a Server.
@@ -56,6 +59,25 @@ type Config struct {
 
 	// MaxBodyBytes bounds a submission body (default 1 MiB).
 	MaxBodyBytes int64
+
+	// JournalPath, when non-empty, makes the server crash-safe: every
+	// admission is journaled (write-ahead, internal/wal) before it is
+	// queued and every completion before it is observable, so a killed
+	// daemon restarted on the same journal rehydrates finished jobs and
+	// re-runs incomplete ones. Only Open honors it; New is the in-memory
+	// constructor.
+	JournalPath string
+
+	// JournalSync selects the fsync policy for journal appends (default
+	// wal.SyncAlways: an acknowledged submission survives power loss).
+	JournalSync wal.SyncPolicy
+
+	// QueueTimeout, when > 0, is the per-job admission deadline: a job
+	// still waiting for a worker after this long fails with ErrJobTimeout
+	// instead of running arbitrarily late. The clock is the service's
+	// wall clock (injectable in tests); the simulation itself stays in
+	// simulated time.
+	QueueTimeout time.Duration
 }
 
 // DefaultCycleBudget bounds one task instance to a billion simulated
@@ -85,13 +107,22 @@ func (c Config) withDefaults() Config {
 // Status is a job's lifecycle state.
 type Status string
 
-// Job lifecycle states.
+// Job lifecycle states. StatusRecovered is the post-crash re-admission
+// state: the job was journaled but never finished, and a restarted daemon
+// has re-queued it — it proceeds to running/done exactly like a queued
+// job.
 const (
-	StatusQueued  Status = "queued"
-	StatusRunning Status = "running"
-	StatusDone    Status = "done"
-	StatusFailed  Status = "failed"
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusRecovered Status = "recovered"
 )
+
+// ErrJobTimeout reports a job that waited in the admission queue past the
+// configured QueueTimeout and was failed without running. Service
+// mapping: 504 Gateway Timeout.
+var ErrJobTimeout = errors.New("serve: job timed out awaiting execution")
 
 // Event is one NDJSON line of a job's stream. Type "metrics" carries one
 // buffered metrics record of plan-job Index (counter.flush records when
@@ -113,18 +144,21 @@ type Event struct {
 // jobState is one submitted plan's lifecycle: spec and materialized plan,
 // the accumulating event log, and the final report.
 type jobState struct {
-	id     string
-	client string
-	spec   rt.PlanSpec
-	plan   *rt.Plan
+	id        string
+	client    string
+	spec      rt.PlanSpec
+	plan      *rt.Plan
+	admitted  time.Time // when the job entered the queue (admission-deadline clock)
+	recovered bool      // rehydrated or re-queued from the journal after a crash
 
-	mu     sync.Mutex
-	notify chan struct{} // closed and replaced on every append/state change
-	status Status
-	events []Event
-	report string
-	failed int
-	errMsg string
+	mu         sync.Mutex
+	notify     chan struct{} // closed and replaced on every append/state change
+	status     Status
+	events     []Event
+	report     string
+	reportHash string
+	failed     int
+	errMsg     string
 }
 
 func newJobState(id, client string, spec rt.PlanSpec, plan *rt.Plan) *jobState {
@@ -166,14 +200,28 @@ func (j *jobState) next(cursor int) (evs []Event, terminal bool, wait <-chan str
 	return evs, j.status == StatusDone || j.status == StatusFailed, j.notify
 }
 
-// Server owns the job store, the admission layers, and the engine
-// configuration. Build with New, mount Handler on an http.Server, and call
-// Drain on shutdown.
+// Durable counter keys: the service counters whose values survive a
+// restart through the journal (exact for the job counters, last-flush
+// baseline for the rejection counters).
+const (
+	keySubmitted     = "serve.jobs.submitted"
+	keyCompleted     = "serve.jobs.completed"
+	keyFailed        = "serve.jobs.failed"
+	keyRejectedQuota = "serve.jobs.rejected_quota"
+	keyRejectedQueue = "serve.jobs.rejected_queue"
+	keyRejectedSpec  = "serve.jobs.rejected_spec"
+)
+
+// Server owns the job store, the admission layers, the journal, and the
+// engine configuration. Build with New (in-memory) or Open (journaled),
+// mount Handler on an http.Server, and call Drain on shutdown.
 type Server struct {
 	cfg    Config
 	pool   *Pool
 	quotas *Quotas
 	reg    *obs.Registry
+	jl     *journal // nil when running without a journal
+	now    func() time.Time
 
 	mu     sync.Mutex
 	jobs   map[string]*jobState
@@ -188,27 +236,88 @@ type Server struct {
 	rejectedSpec  atomic.Int64
 	completed     atomic.Int64
 	failed        atomic.Int64
+	recoveredJobs atomic.Int64
+	journalErrs   atomic.Int64
 }
 
-// New builds a Server and starts its worker pool.
+// New builds an in-memory Server and starts its worker pool. The journal
+// configuration is ignored — use Open for a crash-safe server.
 func New(cfg Config) *Server {
+	cfg.JournalPath = ""
+	s := newServer(cfg.withDefaults())
+	s.pool = NewPool(s.cfg.PoolWorkers, s.cfg.QueueDepth, s.runJob)
+	return s
+}
+
+// Open builds a Server with its configured journal: existing records are
+// replayed (completed jobs rehydrate as done, incomplete ones re-enqueue
+// in admission order, counter baselines reseed) before the worker pool
+// starts, and every subsequent admission/completion is journaled
+// write-ahead. With no JournalPath it is equivalent to New. Recovery
+// refuses corrupt journals with a typed error (wal.ErrCorrupt or
+// ErrJournal) rather than loading part of a history.
+func Open(cfg Config) (*Server, *Recovery, error) {
 	cfg = cfg.withDefaults()
+	if cfg.JournalPath == "" {
+		return New(cfg), &Recovery{}, nil
+	}
+	s := newServer(cfg)
+	rec, err := s.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, rec, nil
+}
+
+// newServer builds everything but the worker pool (whose queue depth the
+// recovery path may widen before starting it).
+func newServer(cfg Config) *Server {
 	s := &Server{
 		cfg:    cfg,
 		quotas: NewQuotas(cfg.QuotaRate, cfg.QuotaBurst),
 		jobs:   map[string]*jobState{},
+		//visa:allow(detlint): admission deadlines live in wall-clock service time, not simulated time
+		now: time.Now,
 	}
-	s.pool = NewPool(cfg.PoolWorkers, cfg.QueueDepth, s.runJob)
 	s.reg = obs.NewRegistry()
-	s.reg.Counter("serve.jobs.submitted", s.submitted.Load)
-	s.reg.Counter("serve.jobs.rejected_quota", s.rejectedQuota.Load)
-	s.reg.Counter("serve.jobs.rejected_queue", s.rejectedQueue.Load)
-	s.reg.Counter("serve.jobs.rejected_spec", s.rejectedSpec.Load)
-	s.reg.Counter("serve.jobs.completed", s.completed.Load)
-	s.reg.Counter("serve.jobs.failed", s.failed.Load)
+	s.reg.Counter(keySubmitted, s.submitted.Load)
+	s.reg.Counter(keyRejectedQuota, s.rejectedQuota.Load)
+	s.reg.Counter(keyRejectedQueue, s.rejectedQueue.Load)
+	s.reg.Counter(keyRejectedSpec, s.rejectedSpec.Load)
+	s.reg.Counter(keyCompleted, s.completed.Load)
+	s.reg.Counter(keyFailed, s.failed.Load)
 	s.reg.Counter("serve.jobs.running", s.running.Load)
+	s.reg.Counter("serve.jobs.recovered", s.recoveredJobs.Load)
+	s.reg.Counter("serve.journal.errors", s.journalErrs.Load)
 	s.reg.Counter("serve.queue.depth", func() int64 { return int64(s.pool.Depth()) })
 	return s
+}
+
+// count bumps a service counter on both its live atomic (registry reads)
+// and, when journaling, the durable coalesced sink.
+func (s *Server) count(key string, live *atomic.Int64) {
+	live.Add(1)
+	if err := s.jl.add(key, 1); err != nil {
+		s.journalErrs.Add(1)
+	}
+}
+
+// seedCounter restores a recovered counter value into its live atomic.
+func (s *Server) seedCounter(key string, total int64) {
+	switch key {
+	case keySubmitted:
+		s.submitted.Store(total)
+	case keyCompleted:
+		s.completed.Store(total)
+	case keyFailed:
+		s.failed.Store(total)
+	case keyRejectedQuota:
+		s.rejectedQuota.Store(total)
+	case keyRejectedQueue:
+		s.rejectedQueue.Store(total)
+	case keyRejectedSpec:
+		s.rejectedSpec.Store(total)
+	}
 }
 
 // Submit validates, admits, and enqueues one plan spec for client,
@@ -221,31 +330,53 @@ func (s *Server) Submit(client string, spec rt.PlanSpec) (string, error) {
 	}
 	plan, err := materialize(spec)
 	if err != nil {
-		s.rejectedSpec.Add(1)
+		s.count(keyRejectedSpec, &s.rejectedSpec)
 		return "", err
 	}
 	if ok, wait := s.quotas.Allow(client); !ok {
-		s.rejectedQuota.Add(1)
+		s.count(keyRejectedQuota, &s.rejectedQuota)
 		return "", &QuotaError{Client: client, RetryAfter: wait}
 	}
 
+	// Write-ahead admission: the admit record hits the journal before the
+	// job can run, and the enqueue happens under the same lock, so the
+	// journal's admit order is exactly the queue's execution order — a
+	// restarted daemon re-runs the backlog in the order clients were
+	// promised.
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
 	j := newJobState(id, client, spec, plan)
+	j.admitted = s.now()
+	if s.jl != nil {
+		enc, err := spec.Encode()
+		if err == nil {
+			err = s.jl.append(JournalEntry{Type: entryAdmit, ID: id, Client: client, Spec: enc})
+		}
+		if err != nil {
+			s.mu.Unlock()
+			s.journalErrs.Add(1)
+			return "", fmt.Errorf("serve: journal admission: %w", err)
+		}
+	}
 	s.jobs[id] = j
-	s.mu.Unlock()
-
 	if err := s.pool.Enqueue(j); err != nil {
-		s.mu.Lock()
 		delete(s.jobs, id)
 		s.mu.Unlock()
+		// The admit record is already durable; cancel it so recovery does
+		// not resurrect a job the client was told to retry. A crash
+		// between the two records errs toward re-running work nobody
+		// observed — harmless — never toward losing work somebody did.
+		if jerr := s.jl.append(JournalEntry{Type: entryReject, ID: id}); jerr != nil {
+			s.journalErrs.Add(1)
+		}
 		if err == rt.ErrQueueFull {
-			s.rejectedQueue.Add(1)
+			s.count(keyRejectedQueue, &s.rejectedQueue)
 		}
 		return "", err
 	}
-	s.submitted.Add(1)
+	s.mu.Unlock()
+	s.count(keySubmitted, &s.submitted)
 	return id, nil
 }
 
@@ -273,10 +404,23 @@ func materialize(spec rt.PlanSpec) (*rt.Plan, error) {
 }
 
 // runJob executes one admitted plan on a fresh engine, streaming per-job
-// events through the engine's completion hook.
+// events through the engine's completion hook. Terminal states are
+// journaled write-ahead: the done record is durable before any client
+// can observe the done status, so an observed completion never regresses
+// to a re-run after a crash.
 func (s *Server) runJob(j *jobState) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
+
+	// Admission deadline: a job that sat in the queue past the bound is
+	// failed without running — the client asked for a simulation, not a
+	// simulation at an arbitrary future time. The error message carries
+	// only the configured bound, never a measured wall-time, so reports
+	// and event logs stay deterministic.
+	if s.cfg.QueueTimeout > 0 && s.now().Sub(j.admitted) > s.cfg.QueueTimeout {
+		s.finishFailed(j, fmt.Errorf("%w (admission deadline %s)", ErrJobTimeout, s.cfg.QueueTimeout))
+		return
+	}
 	j.setStatus(StatusRunning)
 
 	eng := &rt.Engine{
@@ -291,17 +435,22 @@ func (s *Server) runJob(j *jobState) {
 	rep, err := eng.Run(j.plan)
 	if err != nil {
 		// Hard failure (validation): no report at all.
-		j.mu.Lock()
-		j.errMsg = err.Error()
-		j.events = append(j.events, Event{Type: "done", Status: StatusFailed, Error: j.errMsg})
-		j.status = StatusFailed
-		j.signal()
-		j.mu.Unlock()
-		s.failed.Add(1)
+		s.finishFailed(j, err)
 		return
+	}
+	hash := rt.ReportHash(rep.Text)
+	if err := s.jl.appendDone(JournalEntry{
+		Type: entryDone, ID: j.id, Status: StatusDone,
+		Report: rep.Text, ReportHash: hash, Failed: rep.Failed,
+	}); err != nil {
+		// The job ran; only its completion record is lost. Leaving the
+		// journal without a done record errs toward a redundant re-run
+		// after a crash — the safe direction.
+		s.journalErrs.Add(1)
 	}
 	j.mu.Lock()
 	j.report = rep.Text
+	j.reportHash = hash
 	j.failed = rep.Failed
 	j.events = append(j.events,
 		Event{Type: "report", Text: rep.Text, Failed: rep.Failed},
@@ -309,7 +458,24 @@ func (s *Server) runJob(j *jobState) {
 	j.status = StatusDone
 	j.signal()
 	j.mu.Unlock()
-	s.completed.Add(1)
+	s.count(keyCompleted, &s.completed)
+}
+
+// finishFailed journals and applies a job's terminal failure.
+func (s *Server) finishFailed(j *jobState, err error) {
+	msg := err.Error()
+	if jerr := s.jl.appendDone(JournalEntry{
+		Type: entryDone, ID: j.id, Status: StatusFailed, Error: msg,
+	}); jerr != nil {
+		s.journalErrs.Add(1)
+	}
+	j.mu.Lock()
+	j.errMsg = msg
+	j.events = append(j.events, Event{Type: "done", Status: StatusFailed, Error: msg})
+	j.status = StatusFailed
+	j.signal()
+	j.mu.Unlock()
+	s.count(keyFailed, &s.failed)
 }
 
 // jobEvents renders one plan-job completion: its buffered metrics records
@@ -335,13 +501,17 @@ func jobEvents(i int, recs []obs.Record, err error) []Event {
 }
 
 // Drain stops admitting jobs, finishes every job already admitted (queued
-// or running), and returns — or gives up when ctx expires, leaving the
-// remaining jobs running.
+// or running), closes the journal, and returns — or gives up when ctx
+// expires, leaving the remaining jobs running (and the journal open for
+// their completion records; the next Open replays whatever landed).
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})
 	go func() {
 		s.pool.Drain()
+		if err := s.jl.close(); err != nil {
+			s.journalErrs.Add(1)
+		}
 		close(done)
 	}()
 	select {

@@ -1,0 +1,288 @@
+// Package wal is an append-only write-ahead journal with per-record
+// checksums and torn-tail recovery — the durability substrate under the
+// simulation service (internal/serve).
+//
+// The file layout is a fixed 8-byte magic header followed by framed
+// records:
+//
+//	[4-byte little-endian payload length][4-byte CRC-32 (IEEE) of payload][payload]
+//
+// Appends are single write(2) calls (header and payload in one buffer) so
+// a crash tears at most the final record, and the fsync policy decides
+// whether each append is forced to stable storage before Append returns.
+//
+// Recovery distinguishes the two ways a journal can be damaged:
+//
+//   - A torn tail — the file ends mid-record because the process was
+//     killed mid-write or the filesystem truncated the last append. The
+//     valid prefix is recovered, the tail is truncated away on Open, and
+//     replay proceeds. This is the expected crash shape and is never an
+//     error.
+//   - A corrupt record — a complete frame whose checksum does not match
+//     its payload. That is silent data damage, not a crash artifact, and
+//     replay refuses the whole file with a typed *CorruptError rather
+//     than silently loading a partial or wrong history.
+//
+// The package is deliberately time-free: records carry no wall-clock
+// fields, so a journal's byte content is a deterministic function of the
+// payload sequence appended to it.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Magic is the 8-byte file header identifying a VISA journal (and its
+// framing version — bump the trailing digit on incompatible changes).
+var Magic = [8]byte{'V', 'I', 'S', 'A', 'W', 'A', 'L', '1'}
+
+// frameHeader is the per-record overhead: 4-byte length + 4-byte CRC.
+const frameHeader = 8
+
+// MaxRecord bounds one payload (16 MiB). A length field above it is
+// treated as corruption: no legitimate record is that large, and honoring
+// arbitrary lengths would let one flipped bit demand gigabytes.
+const MaxRecord = 16 << 20
+
+// ErrCorrupt roots every integrity failure replay can detect: checksum
+// mismatches, oversized length fields, and foreign file headers. Test
+// with errors.Is; the concrete *CorruptError carries the offset.
+var ErrCorrupt = errors.New("wal: journal corrupt")
+
+// CorruptError reports a record that is structurally complete but fails
+// its integrity check. It wraps ErrCorrupt.
+type CorruptError struct {
+	Path   string // journal path ("" when replaying a plain reader)
+	Offset int64  // byte offset of the offending frame
+	Reason string // what failed (checksum, length, magic)
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: %s: corrupt record at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// SyncPolicy selects how hard Append pushes each record toward stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record
+	// survives power loss. This is the default and the policy the
+	// exactly-once-observable argument assumes.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves durability to the OS page cache: a machine crash
+	// may lose acknowledged records (a daemon crash alone does not — the
+	// write(2) completed). Useful for tests and throwaway runs.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the flag spellings to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return SyncAlways, nil
+	case "never", "none":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always or never)", s)
+}
+
+func (p SyncPolicy) String() string {
+	if p == SyncNever {
+		return "never"
+	}
+	return "always"
+}
+
+// Replay decodes every complete, checksummed record in r. It returns the
+// decoded payloads, the byte length of the valid prefix (magic header
+// included), and whether a torn tail was skipped. A checksum or length
+// failure on a structurally complete record returns a *CorruptError and
+// no records — never a partial silent load.
+func Replay(r io.Reader) (recs [][]byte, validSize int64, torn bool, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: replay: %w", err)
+	}
+	return replayBytes(data, "")
+}
+
+func replayBytes(data []byte, path string) (recs [][]byte, validSize int64, torn bool, err error) {
+	if len(data) < len(Magic) {
+		// Shorter than the header: an empty or torn-at-birth journal.
+		// Nothing valid beyond offset 0.
+		return nil, 0, len(data) > 0, nil
+	}
+	for i := range Magic {
+		if data[i] != Magic[i] {
+			return nil, 0, false, &CorruptError{Path: path, Offset: 0, Reason: "bad magic (not a VISA journal)"}
+		}
+	}
+	off := int64(len(Magic))
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return recs, off, false, nil
+		}
+		if len(rest) < frameHeader {
+			return recs, off, true, nil // torn mid-header
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > MaxRecord {
+			return nil, 0, false, &CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("length %d exceeds MaxRecord %d", n, MaxRecord)}
+		}
+		if int64(len(rest)) < frameHeader+int64(n) {
+			return recs, off, true, nil // torn mid-payload
+		}
+		payload := rest[frameHeader : frameHeader+int64(n)]
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return nil, 0, false, &CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("checksum %08x, want %08x", got, sum)}
+		}
+		recs = append(recs, payload)
+		off += frameHeader + int64(n)
+	}
+}
+
+// Writer is an append-only journal handle. Append is safe for a single
+// goroutine; callers that share one (internal/serve) serialize around it.
+// Errors are sticky: after a failed append the writer refuses further
+// work, because a journal with a hole in the middle is worse than a dead
+// one.
+type Writer struct {
+	f      *os.File
+	path   string
+	policy SyncPolicy
+	buf    []byte
+	err    error
+}
+
+// Open opens (or creates) the journal at path, replays its existing
+// records, truncates any torn tail, and returns a Writer positioned for
+// appending plus the recovered payloads and whether a tail was torn
+// away. A corrupt record (complete frame, bad checksum) fails Open with
+// a *CorruptError: the caller decides what to do with a damaged journal;
+// this package never silently loads part of one.
+func Open(path string, policy SyncPolicy) (w *Writer, recs [][]byte, torn bool, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("wal: open: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close() //visa:allow(errlint): the read error is the one being reported
+		return nil, nil, false, fmt.Errorf("wal: open: read: %w", err)
+	}
+	recs, validSize, torn, err := replayBytes(data, path)
+	if err != nil {
+		f.Close() //visa:allow(errlint): the corruption error is the one being reported
+		return nil, nil, false, err
+	}
+	if validSize == 0 {
+		// Fresh (or header-torn) journal: write the magic header.
+		if err := f.Truncate(0); err != nil {
+			f.Close() //visa:allow(errlint): the truncate error is the one being reported
+			return nil, nil, false, fmt.Errorf("wal: open: truncate: %w", err)
+		}
+		if _, err := f.WriteAt(Magic[:], 0); err != nil {
+			f.Close() //visa:allow(errlint): the write error is the one being reported
+			return nil, nil, false, fmt.Errorf("wal: open: write magic: %w", err)
+		}
+		validSize = int64(len(Magic))
+	} else if int64(len(data)) > validSize {
+		// Torn tail: drop it so the next append starts on a clean frame
+		// boundary instead of extending garbage.
+		if err := f.Truncate(validSize); err != nil {
+			f.Close() //visa:allow(errlint): the truncate error is the one being reported
+			return nil, nil, false, fmt.Errorf("wal: open: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
+		f.Close() //visa:allow(errlint): the seek error is the one being reported
+		return nil, nil, false, fmt.Errorf("wal: open: seek: %w", err)
+	}
+	return &Writer{f: f, path: path, policy: policy}, recs, torn, nil
+}
+
+// Append frames payload (length, CRC-32, bytes) and writes it in a single
+// write call, fsyncing per the policy. The payload is copied; callers may
+// reuse their buffer. This is the admission hot path of the service: the
+// frame buffer is reused across appends, so steady-state appends do not
+// allocate.
+//
+//visa:hotpath
+func (w *Writer) Append(payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(payload) > MaxRecord {
+		//visa:allow(hotalloc): oversized-payload refusal is an error path, never taken steady-state
+		return fmt.Errorf("wal: append: payload %d bytes exceeds MaxRecord %d", len(payload), MaxRecord)
+	}
+	need := frameHeader + len(payload)
+	if cap(w.buf) < need {
+		//visa:allow(hotalloc): frame buffer grows to the largest record seen, then stays flat
+		w.buf = make([]byte, need)
+	}
+	buf := w.buf[:need]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeader:], payload)
+	if _, err := w.f.Write(buf); err != nil {
+		w.err = fmt.Errorf("wal: append: %w", err)
+		return w.err
+	}
+	if w.policy == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.err = fmt.Errorf("wal: append: sync: %w", err)
+			return w.err
+		}
+	}
+	return nil
+}
+
+// Sync forces buffered appends to stable storage regardless of policy.
+func (w *Writer) Sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: sync: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (w *Writer) Path() string { return w.path }
+
+// Err returns the sticky append error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Close syncs (under SyncAlways) and closes the file. The sticky error,
+// if any, takes precedence.
+func (w *Writer) Close() error {
+	if w.f == nil {
+		return w.err
+	}
+	f := w.f
+	w.f = nil
+	if w.err == nil && w.policy == SyncAlways {
+		if err := f.Sync(); err != nil {
+			w.err = fmt.Errorf("wal: close: sync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil && w.err == nil {
+		w.err = fmt.Errorf("wal: close: %w", err)
+	}
+	return w.err
+}

@@ -1,0 +1,75 @@
+#!/bin/sh
+# smoke_recovery.sh — shell-level crash-recovery smoke: build visad, start
+# it with a write-ahead journal, submit a plan, SIGKILL the daemon (no
+# drain), restart on the same journal at a different -j, and require the
+# job to reach done with a non-empty report and a recovery summary on
+# stderr. Proves the kill-and-restart story works binary-to-binary with
+# nothing but curl.
+#
+# Usage: scripts/smoke_recovery.sh
+set -eu
+
+GO="${GO:-go}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+command -v curl >/dev/null 2>&1 || { echo "smoke-recovery: curl not available, skipping"; exit 0; }
+
+echo "smoke-recovery: building visad"
+"$GO" build -o "$TMP/visad" ./cmd/visad
+
+JOURNAL="$TMP/visad.wal"
+
+start_visad() {
+    # $1: -j value, $2: log file
+    "$TMP/visad" -addr 127.0.0.1:0 -j "$1" -journal "$JOURNAL" 2>"$2" &
+    VISAD_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR="$(sed -n 's/.*listening on \([^ ]*\).*/\1/p' "$2")"
+        [ -n "$ADDR" ] && break
+        kill -0 "$VISAD_PID" 2>/dev/null || { cat "$2"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || { echo "smoke-recovery: visad never listened"; cat "$2"; exit 1; }
+    BASE="http://$ADDR"
+}
+
+start_visad 1 "$TMP/visad1.log"
+echo "smoke-recovery: visad up at $BASE (journal $JOURNAL)"
+
+PLAN='{"version":1,"kind":"custom","name":"smoke","jobs":[{"version":1,"bench":"cnt","config":{"instances":3,"label":"smoke/cnt"}},{"version":1,"bench":"srt","config":{"instances":3,"label":"smoke/srt"}}]}'
+ID="$(curl -fsS -X POST -H 'X-Client-ID: smoke' -d "$PLAN" "$BASE/v1/jobs" \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$ID" ] || { echo "smoke-recovery: submit failed"; exit 1; }
+echo "smoke-recovery: submitted $ID, SIGKILL (no drain)"
+
+kill -9 "$VISAD_PID"
+wait "$VISAD_PID" 2>/dev/null || true
+
+start_visad 4 "$TMP/visad2.log"
+grep -q "journal $JOURNAL" "$TMP/visad2.log" \
+    || { echo "smoke-recovery: no recovery summary"; cat "$TMP/visad2.log"; exit 1; }
+echo "smoke-recovery: restarted at -j 4: $(grep "journal $JOURNAL" "$TMP/visad2.log" | head -1)"
+
+STATUS=""
+for _ in $(seq 1 600); do
+    DOC="$(curl -fsS "$BASE/v1/jobs/$ID")"
+    STATUS="$(printf '%s' "$DOC" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')"
+    [ "$STATUS" = "done" ] && break
+    [ "$STATUS" = "failed" ] && { echo "smoke-recovery: job failed: $DOC"; exit 1; }
+    sleep 0.1
+done
+[ "$STATUS" = "done" ] || { echo "smoke-recovery: job never finished (status '$STATUS')"; exit 1; }
+printf '%s' "$DOC" | grep -q '"recovered":true' \
+    || { echo "smoke-recovery: job not flagged recovered: $DOC"; exit 1; }
+printf '%s' "$DOC" | grep -q '"report":"[^"]' \
+    || { echo "smoke-recovery: empty report after recovery: $DOC"; exit 1; }
+printf '%s' "$DOC" | grep -q '"report_hash":"[0-9a-f]\{64\}"' \
+    || { echo "smoke-recovery: missing report hash: $DOC"; exit 1; }
+
+echo "smoke-recovery: clean drain of the recovered daemon"
+kill -TERM "$VISAD_PID"
+wait "$VISAD_PID" || { echo "smoke-recovery: unclean exit"; cat "$TMP/visad2.log"; exit 1; }
+
+echo "smoke-recovery: OK"
