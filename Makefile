@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs tier-serve tier-durable tier-all vet fmt-check race test bench-engine bench-json clean
+.PHONY: all build tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs tier-serve tier-durable tier-all vet fmt-check race test bench-engine bench-json bench-diff clean
 
 all: build
 
@@ -101,16 +101,24 @@ tier-all: tier1 tier2 tier-race tier-fault tier-conform tier-lint tier-obs tier-
 bench-engine:
 	$(GO) test -run '^$$' -bench 'BenchmarkExperimentsAll' -benchtime 1x .
 
-# Regenerates BENCH_7.json: the committed benchmark record (name, ns/op,
-# B/op, allocs/op) covering the evaluation-level engine benchmarks (one
-# shot each — they run whole experiment tables), the per-cycle pipeline
-# Feed kernels whose allocs/op the hotalloc analyzer guards, and the
-# coalescing-sink hot path (Add must stay 0 allocs/op at wide thresholds).
+# Regenerates BENCH_10.json: the committed benchmark record (name, ns/op,
+# B/op, allocs/op, custom metrics) covering the evaluation-level engine
+# benchmarks (one shot each — they run whole experiment tables), the
+# per-cycle pipeline Feed kernels whose allocs/op the hotalloc analyzer
+# guards, and the coalescing-sink hot path (Add must stay 0 allocs/op at
+# wide thresholds). After regenerating, bench-diff gates the record against
+# the previous one.
 bench-json:
 	( $(GO) test -run '^$$' -bench 'Table3|Figure|FunctionalExecutor|SimplePipeline|ComplexPipeline|WCETAnalysis' -benchtime 1x -benchmem . && \
 	  $(GO) test -run '^$$' -bench 'PipelineFeed' -benchmem ./internal/simple/ ./internal/ooo/ && \
 	  $(GO) test -run '^$$' -bench 'Coalescing|PerEventRecordWrite' -benchmem ./internal/obs/ ) \
-	  | $(GO) run ./cmd/benchjson -o BENCH_7.json
+	  | $(GO) run ./cmd/benchjson -o BENCH_10.json
+
+# Gates the performance trajectory on the committed records: compares the
+# two most recent BENCH_N.json and fails on >20% ns/op growth or any
+# allocs/op increase in the pinned cycle-loop kernels.
+bench-diff:
+	$(GO) run ./cmd/benchdiff
 
 test: tier1
 

@@ -1,0 +1,230 @@
+// Command benchdiff gates the repository's performance trajectory on the
+// committed benchmark records. It compares the two most recent BENCH_N.json
+// files (as written by cmd/benchjson) and fails when a pinned kernel
+// regresses: more than 20% on ns/op, or by even a single alloc/op. The
+// pinned set is the steady-state cycle-loop kernels that the whole
+// simulator's throughput rests on — the evaluation-level benchmarks
+// (Figure2–4, Table3) are reported in the diff but not gated, because their
+// one-shot timings fold in OS noise that a threshold can't separate from a
+// real regression.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff             # latest two BENCH_N.json in .
+//	go run ./cmd/benchdiff old new     # explicit records
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op"`
+	AllocsPerOp *int64  `json:"allocs_per_op"`
+}
+
+// pinned lists the kernels whose regressions fail the gate. These are the
+// hot loops that must stay allocation-free and within 20% of the recorded
+// ns/op; everything else in the record is informational.
+var pinned = []string{
+	"BenchmarkSimplePipeline",
+	"BenchmarkComplexPipeline",
+	"BenchmarkFunctionalExecutor",
+	"visa/internal/simple.BenchmarkPipelineFeed",
+	"visa/internal/ooo.BenchmarkPipelineFeed",
+	"visa/internal/obs.BenchmarkCoalescingSinkAdd/threshold=16",
+	"visa/internal/obs.BenchmarkCoalescingSinkAdd/threshold=1048576",
+}
+
+// nsTolerance is the allowed fractional ns/op growth on pinned kernels.
+// Single-machine benchmark noise on the project's reference hardware sits
+// under ±10%; 20% flags real regressions without tripping on jitter.
+const nsTolerance = 0.20
+
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_N.json records")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 0:
+		var err error
+		oldPath, newPath, err = latestTwo(*dir)
+		if err != nil {
+			fatal(err)
+		}
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fatal(fmt.Errorf("usage: benchdiff [old.json new.json]"))
+	}
+
+	oldRes, err := load(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRes, err := load(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchdiff: %s -> %s\n", oldPath, newPath)
+
+	failures := diff(oldRes, newRes, newPath)
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no pinned-kernel regressions")
+}
+
+// diff prints the old->new comparison and returns the gate failures:
+// pinned kernels that regressed past tolerance, gained allocations, or
+// disappeared from the new record.
+func diff(oldRes, newRes map[string]result, newPath string) []string {
+	var failures []string
+	for _, name := range sortedNames(oldRes, newRes) {
+		o, inOld := oldRes[name]
+		n, inNew := newRes[name]
+		switch {
+		case !inNew:
+			fmt.Printf("  %-60s removed\n", name)
+			if isPinned(name) {
+				failures = append(failures, fmt.Sprintf("%s: pinned kernel missing from %s", name, newPath))
+			}
+			continue
+		case !inOld:
+			fmt.Printf("  %-60s new: %s ns/op\n", name, fmtNs(n.NsPerOp))
+			continue
+		}
+		ratio := n.NsPerOp / o.NsPerOp
+		line := fmt.Sprintf("  %-60s %s -> %s ns/op (%+.1f%%)",
+			name, fmtNs(o.NsPerOp), fmtNs(n.NsPerOp), (ratio-1)*100)
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			line += fmt.Sprintf(", allocs %d -> %d", *o.AllocsPerOp, *n.AllocsPerOp)
+		}
+		fmt.Println(line)
+		if !isPinned(name) {
+			continue
+		}
+		if ratio > 1+nsTolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s: ns/op regressed %.1f%% (%s -> %s), tolerance %.0f%%",
+				name, (ratio-1)*100, fmtNs(o.NsPerOp), fmtNs(n.NsPerOp), nsTolerance*100))
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil && *n.AllocsPerOp > *o.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op regressed %d -> %d (any increase fails)",
+				name, *o.AllocsPerOp, *n.AllocsPerOp))
+		}
+	}
+
+	return failures
+}
+
+// latestTwo picks the two highest-numbered BENCH_N.json files in dir.
+func latestTwo(dir string) (oldPath, newPath string, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	type rec struct {
+		n    int
+		path string
+	}
+	var recs []rec
+	for _, e := range ents {
+		m := benchFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		recs = append(recs, rec{n, filepath.Join(dir, e.Name())})
+	}
+	if len(recs) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_N.json in %s, found %d", dir, len(recs))
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].n < recs[j].n })
+	return recs[len(recs)-2].path, recs[len(recs)-1].path, nil
+}
+
+func load(path string) (map[string]result, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(buf, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]result, len(rs))
+	for _, r := range rs {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			return nil, fmt.Errorf("%s: malformed entry %+v", path, r)
+		}
+		if _, dup := out[r.Name]; dup {
+			return nil, fmt.Errorf("%s: duplicate benchmark %q", path, r.Name)
+		}
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+func sortedNames(a, b map[string]result) []string {
+	seen := map[string]bool{}
+	var names []string
+	for n := range a {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for n := range b {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func isPinned(name string) bool {
+	for _, p := range pinned {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}

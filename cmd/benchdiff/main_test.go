@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func i64(v int64) *int64 { return &v }
+
+func res(name string, ns float64, allocs int64) result {
+	return result{Name: name, NsPerOp: ns, AllocsPerOp: i64(allocs)}
+}
+
+func TestDiffGate(t *testing.T) {
+	const pin = "BenchmarkSimplePipeline" // in the pinned set
+	const free = "BenchmarkFigure3"       // informational only
+
+	cases := []struct {
+		name     string
+		old, new result
+		fail     bool
+	}{
+		{"improvement passes", res(pin, 1000, 2), res(pin, 500, 0), false},
+		{"within tolerance passes", res(pin, 1000, 0), res(pin, 1150, 0), false},
+		{"ns regression fails", res(pin, 1000, 0), res(pin, 1300, 0), true},
+		{"alloc regression fails", res(pin, 1000, 0), res(pin, 1000, 1), true},
+		{"unpinned regression passes", res(free, 1000, 0), res(free, 5000, 99), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			failures := diff(
+				map[string]result{tc.old.Name: tc.old},
+				map[string]result{tc.new.Name: tc.new},
+				"new.json")
+			if got := len(failures) > 0; got != tc.fail {
+				t.Errorf("failures = %v, want fail=%v", failures, tc.fail)
+			}
+		})
+	}
+}
+
+func TestDiffMissingPinnedKernel(t *testing.T) {
+	old := map[string]result{"BenchmarkSimplePipeline": res("BenchmarkSimplePipeline", 1000, 0)}
+	failures := diff(old, map[string]result{}, "new.json")
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Errorf("failures = %v, want one missing-kernel failure", failures)
+	}
+}
+
+func TestLatestTwo(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_7.json", "BENCH_10.json", "README.md"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("[]"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldPath, newPath, err := latestTwo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric, not lexicographic: 10 is newer than 7.
+	if filepath.Base(oldPath) != "BENCH_7.json" || filepath.Base(newPath) != "BENCH_10.json" {
+		t.Errorf("latestTwo = %s, %s; want BENCH_7.json, BENCH_10.json", oldPath, newPath)
+	}
+
+	if _, _, err := latestTwo(t.TempDir()); err == nil {
+		t.Error("latestTwo on empty dir succeeded, want error")
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"dup.json": `[{"name":"A","ns_per_op":1},{"name":"A","ns_per_op":2}]`,
+		"bad.json": `[{"name":"","ns_per_op":1}]`,
+		"neg.json": `[{"name":"A","ns_per_op":0}]`,
+	}
+	for name, body := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := load(p); err == nil {
+			t.Errorf("load(%s) succeeded, want error", name)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin
 // into a committed JSON benchmark record (BENCH_N.json): one entry per
-// benchmark with name, ns/op, B/op and allocs/op. Input lines are echoed
-// to stdout so the tool can sit at the end of a pipe without hiding the
-// run from the terminal.
+// benchmark with name, ns/op, B/op, allocs/op and any custom metrics
+// (b.ReportMetric). Input lines are echoed to stdout so the tool can sit at
+// the end of a pipe without hiding the run from the terminal. Lines that
+// look like benchmark results but fail to parse abort the run: a truncated
+// record must never masquerade as a clean baseline.
 //
 // Usage:
 //
@@ -10,80 +12,25 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
-	"sort"
-	"strconv"
 )
 
-type result struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-// benchRE matches a benchmark result line. The -<N> GOMAXPROCS suffix is
-// stripped from the name so the record is stable across machines; the
-// `pkg:` header go test prints before each package's results qualifies
-// same-named benchmarks from different packages.
-var (
-	benchRE  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
-	pkgRE    = regexp.MustCompile(`^pkg:\s+(\S+)$`)
-	bytesRE  = regexp.MustCompile(`(\d+) B/op`)
-	allocsRE = regexp.MustCompile(`(\d+) allocs/op`)
-)
+// rootModule is the module path whose benchmarks keep unqualified names;
+// benchmarks from any other package are prefixed with the `pkg:` header.
+const rootModule = "visa"
 
 func main() {
 	out := flag.String("o", "", "output JSON file (default stdout only)")
 	flag.Parse()
 
-	var results []result
-	var pkg string
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line)
-		if pm := pkgRE.FindStringSubmatch(line); pm != nil {
-			pkg = pm[1]
-			continue
-		}
-		m := benchRE.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: bad ns/op in %q: %v\n", line, err)
-			os.Exit(2)
-		}
-		name := m[1]
-		if pkg != "" && pkg != "visa" {
-			name = pkg + "." + name
-		}
-		r := result{Name: name, NsPerOp: ns}
-		if bm := bytesRE.FindStringSubmatch(m[3]); bm != nil {
-			r.BytesPerOp, _ = strconv.ParseInt(bm[1], 10, 64)
-		}
-		if am := allocsRE.FindStringSubmatch(m[3]); am != nil {
-			r.AllocsPerOp, _ = strconv.ParseInt(am[1], 10, 64)
-		}
-		results = append(results, r)
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+	results, err := parseBench(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(2)
 	}
-	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
-		os.Exit(2)
-	}
-	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 
 	buf, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

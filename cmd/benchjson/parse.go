@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's record in the committed JSON. BytesPerOp and
+// AllocsPerOp are pointers so a run without -benchmem serializes the fields
+// as absent instead of a misleading 0 B/op. Custom metrics (b.ReportMetric
+// units like savings-%) land in Metrics.
+type result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchLineRE matches the fixed prefix of a benchmark result line: name
+// (with the -<N> GOMAXPROCS suffix stripped, so records are stable across
+// machines), iteration count, then the measurement tail. The tail is parsed
+// as value/unit pairs rather than per-unit regexps so custom metrics in any
+// position are kept and anything unparseable is a loud error instead of a
+// silently dropped field.
+var (
+	benchLineRE  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+	benchStartRE = regexp.MustCompile(`^Benchmark\S+\s`)
+	pkgRE        = regexp.MustCompile(`^pkg:\s+(\S+)$`)
+)
+
+// parseBench reads `go test -bench` output from r, echoing every line to
+// echo (pass io.Discard to suppress), and returns the parsed results sorted
+// by name. Benchmark names are qualified with the surrounding `pkg:` header
+// when it names a package other than the root module, so same-named
+// benchmarks from different packages stay distinct. A line that looks like
+// a benchmark result but does not parse is an error: a truncated or mangled
+// run must not quietly produce a smaller record.
+func parseBench(r io.Reader, echo io.Writer) ([]result, error) {
+	var results []result
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		if pm := pkgRE.FindStringSubmatch(line); pm != nil {
+			pkg = pm[1]
+			continue
+		}
+		if !benchStartRE.MatchString(line) {
+			continue
+		}
+		res, err := parseLine(line, pkg)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading input: %w", err)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on input")
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results, nil
+}
+
+// parseLine parses one benchmark result line, qualifying the name with pkg.
+func parseLine(line, pkg string) (result, error) {
+	m := benchLineRE.FindStringSubmatch(line)
+	if m == nil {
+		return result{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	name := m[1]
+	if pkg != "" && pkg != rootModule {
+		name = pkg + "." + name
+	}
+	r := result{Name: name}
+
+	fields := strings.Fields(m[3])
+	if len(fields) == 0 || len(fields)%2 != 0 {
+		return result{}, fmt.Errorf("malformed measurement tail in %q", line)
+	}
+	sawNs := false
+	for i := 0; i < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return result{}, fmt.Errorf("bad value %q for unit %q in %q", val, unit, line)
+		}
+		switch unit {
+		case "ns/op":
+			r.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return result{}, fmt.Errorf("bad B/op %q in %q", val, line)
+			}
+			r.BytesPerOp = &n
+		case "allocs/op":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return result{}, fmt.Errorf("bad allocs/op %q in %q", val, line)
+			}
+			r.AllocsPerOp = &n
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	if !sawNs {
+		return result{}, fmt.Errorf("no ns/op measurement in %q", line)
+	}
+	return r, nil
+}

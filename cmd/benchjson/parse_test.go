@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseGolden runs the parser over a captured `go test -bench` transcript
+// and compares the JSON record against the committed golden file.
+func TestParseGolden(t *testing.T) {
+	in, err := os.Open(filepath.Join("testdata", "bench.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	results, err := parseBench(in, io.Discard)
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+
+	want, err := os.ReadFile(filepath.Join("testdata", "bench.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(want) {
+		t.Errorf("golden mismatch\n--- got ---\n%s--- want ---\n%s", buf, want)
+	}
+}
+
+func TestParseFields(t *testing.T) {
+	const input = `pkg: visa
+BenchmarkA-8 	 100	 250.5 ns/op	 12.75 widgets/op	 64 B/op	 3 allocs/op
+pkg: visa/internal/x
+BenchmarkA 	 100	 99 ns/op
+`
+	results, err := parseBench(strings.NewReader(input), io.Discard)
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+
+	a := results[0]
+	if a.Name != "BenchmarkA" || a.NsPerOp != 250.5 {
+		t.Errorf("root result = %+v", a)
+	}
+	if a.BytesPerOp == nil || *a.BytesPerOp != 64 {
+		t.Errorf("BytesPerOp = %v, want 64", a.BytesPerOp)
+	}
+	if a.AllocsPerOp == nil || *a.AllocsPerOp != 3 {
+		t.Errorf("AllocsPerOp = %v, want 3", a.AllocsPerOp)
+	}
+	if got := a.Metrics["widgets/op"]; got != 12.75 {
+		t.Errorf("custom metric = %v, want 12.75", got)
+	}
+
+	// Same benchmark name in a non-root package is pkg-qualified, and a run
+	// without -benchmem leaves the memory fields absent, not zero.
+	b := results[1]
+	if b.Name != "visa/internal/x.BenchmarkA" {
+		t.Errorf("qualified name = %q", b.Name)
+	}
+	if b.BytesPerOp != nil || b.AllocsPerOp != nil {
+		t.Errorf("memory fields without -benchmem should be nil, got %v/%v",
+			b.BytesPerOp, b.AllocsPerOp)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"truncated tail", "BenchmarkX-4 \t 100\n"},
+		{"odd field count", "BenchmarkX-4 \t 100 \t 42 ns/op extra\n"},
+		{"non-numeric value", "BenchmarkX-4 \t 100 \t fast ns/op\n"},
+		{"missing ns/op", "BenchmarkX-4 \t 100 \t 64 B/op\n"},
+		{"empty input", "PASS\nok  \tvisa\t1.0s\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parseBench(strings.NewReader(tc.input), io.Discard); err == nil {
+				t.Errorf("parseBench(%q) succeeded, want error", tc.input)
+			}
+		})
+	}
+}

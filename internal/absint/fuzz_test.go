@@ -166,7 +166,7 @@ func runChecked(prog *isa.Program, o *oracle) error {
 			pendingEntry = false
 		}
 		entrySP := spStack[len(spStack)-1]
-		fg := o.pcFunc[d.PC]
+		fg := o.pcFunc[int(d.PC)]
 		if fg == nil {
 			return fmt.Errorf("pc %d outside every function", d.PC)
 		}
@@ -174,14 +174,14 @@ func runChecked(prog *isa.Program, o *oracle) error {
 		if fr == nil {
 			return fmt.Errorf("no report for %s", fg.Fn.Name)
 		}
-		blk := fg.BlockAt(d.PC)
+		blk := fg.BlockAt(int(d.PC))
 		if !fr.Reachable[blk.ID] {
 			return fmt.Errorf("%s: executed pc %d in block %d the analysis marked unreachable",
 				fg.Fn.Name, d.PC, blk.ID)
 		}
 
 		// Register writes must lie inside the recorded abstract value.
-		if w, ok := fr.Writes[d.PC]; ok {
+		if w, ok := fr.Writes[int(d.PC)]; ok {
 			rd := destReg(d.Inst)
 			v := m.R[rd]
 			ov := int64(v)
@@ -195,7 +195,7 @@ func runChecked(prog *isa.Program, o *oracle) error {
 		}
 
 		// Effective addresses must lie inside the recorded access range.
-		if acc, ok := fr.Addrs[d.PC]; ok {
+		if acc, ok := fr.Addrs[int(d.PC)]; ok {
 			ov := int64(int32(d.Addr))
 			if acc.Addr.SPRel {
 				ov = int64(int32(d.Addr - uint32(entrySP)))
@@ -208,8 +208,8 @@ func runChecked(prog *isa.Program, o *oracle) error {
 
 		// Intra-function control transfers must not use dead edges, and
 		// loop trip counts must respect the derived bounds.
-		if tfg := o.pcFunc[d.NextPC]; tfg == fg && d.Inst.Op != isa.JAL && d.PC == blk.LastPC() {
-			to := fg.BlockAt(d.NextPC)
+		if tfg := o.pcFunc[int(d.NextPC)]; tfg == fg && d.Inst.Op != isa.JAL && int(d.PC) == blk.LastPC() {
+			to := fg.BlockAt(int(d.NextPC))
 			if to.ID != blk.ID && fr.DeadEdge(blk.ID, to.ID) {
 				return fmt.Errorf("%s: traversed dead edge block %d -> %d (pc %d -> %d)",
 					fg.Fn.Name, blk.ID, to.ID, d.PC, d.NextPC)

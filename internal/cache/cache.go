@@ -39,10 +39,16 @@ func (c Config) validate() error {
 	return nil
 }
 
+// line is one cache line, packed to 8 bytes so a 4-way set is half an L1
+// line of the host: tv holds the block number plus one (0 = invalid), and
+// the LRU stamp is 32-bit with a deterministic renormalization on overflow.
+// The packing matters: the VISA L1 geometry gives 16 KB of line metadata
+// per modeled cache (it was 32 KB at 16 bytes per line), and the feed loops
+// walk these arrays on every modeled access, so their footprint competes
+// with everything else in the host L1.
 type line struct {
-	tag   uint32
-	valid bool
-	lru   uint64 // larger = more recently used
+	tv  uint32 // block number + 1; 0 = invalid
+	lru uint32 // larger = more recently used
 }
 
 // Stats counts accesses.
@@ -71,13 +77,16 @@ func (s Stats) Delta(prev Stats) Stats {
 	return Stats{Accesses: s.Accesses - prev.Accesses, Misses: s.Misses - prev.Misses}
 }
 
-// Cache is a set-associative LRU cache.
+// Cache is a set-associative LRU cache. The lines of all sets live in one
+// contiguous array (set s occupies lines[s*assoc : (s+1)*assoc]): a single
+// allocation, and one pointer chase per access instead of two.
 type Cache struct {
 	cfg       Config
-	sets      [][]line
+	lines     []line
+	assoc     int
 	setMask   uint32
 	blockBits uint
-	clock     uint64
+	clock     uint32
 	stats     Stats
 }
 
@@ -88,14 +97,11 @@ func New(cfg Config) (*Cache, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	c := &Cache{cfg: cfg, setMask: uint32(cfg.Sets() - 1)}
+	c := &Cache{cfg: cfg, assoc: cfg.Assoc, setMask: uint32(cfg.Sets() - 1)}
 	for b := cfg.BlockBytes; b > 1; b >>= 1 {
 		c.blockBits++
 	}
-	c.sets = make([][]line, cfg.Sets())
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Assoc)
-	}
+	c.lines = make([]line, cfg.Sets()*cfg.Assoc)
 	return c, nil
 }
 
@@ -123,31 +129,58 @@ func (c *Cache) Block(addr uint32) uint32 { return addr >> c.blockBits }
 // with LRU replacement (write-allocate; the timing models charge the miss
 // penalty separately).
 func (c *Cache) Access(addr uint32) bool {
+	if c.clock == ^uint32(0) {
+		c.renormalize()
+	}
 	c.clock++
 	c.stats.Accesses++
 	blk := addr >> c.blockBits
-	set := c.sets[blk&c.setMask]
-	tag := blk >> 0 // full block number serves as the tag
-	victim := 0
+	base := int(blk&c.setMask) * c.assoc
+	set := c.lines[base : base+c.assoc]
+	tv := blk + 1 // block number + 1 serves as the tag; 0 means invalid
+	// Hit scan only: on the (common, branch-predictable) hit path the
+	// victim bookkeeping below is dead work, and hoisting it out keeps the
+	// scan to one compare per way.
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].tv == tv {
 			set[i].lru = c.clock
 			return true
 		}
-		if set[i].lru < set[victim].lru || !set[i].valid && set[victim].valid {
+	}
+	// Miss: pick the LRU victim, preferring invalid lines. Scanning after
+	// the failed hit scan chooses the same victim the old fused loop did.
+	// Invalid lines always carry lru 0, below any valid line's stamp (the
+	// clock is pre-incremented), so the stamp comparison alone prefers
+	// them; the tv check only breaks 0-0 ties toward the invalid line.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[victim].lru || set[i].tv == 0 && set[victim].tv != 0 {
 			victim = i
 		}
 	}
 	c.stats.Misses++
-	set[victim] = line{tag: tag, valid: true, lru: c.clock}
+	set[victim] = line{tv: tv, lru: c.clock}
 	return false
+}
+
+// renormalize handles 32-bit LRU clock wraparound: recency ORDER is all the
+// replacement policy reads, so collapsing every stamp to 0 and restarting
+// the clock is a deterministic approximation that loses only the ordering
+// among lines last touched before the reset — once per 2^32 accesses on a
+// given cache instance.
+func (c *Cache) renormalize() {
+	for i := range c.lines {
+		c.lines[i].lru = 0
+	}
+	c.clock = 0
 }
 
 // Probe reports whether addr would hit, without updating LRU or stats.
 func (c *Cache) Probe(addr uint32) bool {
 	blk := addr >> c.blockBits
-	for _, l := range c.sets[blk&c.setMask] {
-		if l.valid && l.tag == blk {
+	base := int(blk&c.setMask) * c.assoc
+	for _, l := range c.lines[base : base+c.assoc] {
+		if l.tv == blk+1 {
 			return true
 		}
 	}
@@ -157,11 +190,7 @@ func (c *Cache) Probe(addr uint32) bool {
 // Flush invalidates every line (used to inject mispredictions, Figure 4).
 // Statistics are preserved.
 func (c *Cache) Flush() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = line{}
-		}
-	}
+	clear(c.lines)
 }
 
 // ResetStats zeroes the counters without touching contents.

@@ -16,13 +16,19 @@ import (
 // DynInst is one dynamically executed instruction, with everything a timing
 // model needs: the static instruction, its effective address for memory
 // operations, and the actual control-flow outcome for branches.
+//
+// The layout is deliberately 32 bytes (PCs are int32: code indexes are
+// bounded far below 2^31 by the 4-byte-instruction code segment). The feed
+// path writes and reads one record per simulated instruction, so two
+// records per host cache line instead of 48-byte records straddling them
+// is measurable end-to-end.
 type DynInst struct {
 	Seq    int64    // 0-based dynamic sequence number
-	PC     int      // instruction index
-	Inst   isa.Inst // static instruction
+	PC     int32    // instruction index
 	Addr   uint32   // effective address (memory ops)
+	Inst   isa.Inst // static instruction
+	NextPC int32    // actual successor PC
 	Taken  bool     // branch/jump outcome
-	NextPC int      // actual successor PC
 }
 
 // Machine holds architectural state for one task execution.
@@ -41,8 +47,6 @@ type Machine struct {
 
 	Seq    int64
 	Halted bool
-
-	srcBuf [2]uint8
 }
 
 // New creates a machine with the program's data image loaded and the stack
@@ -90,30 +94,86 @@ func (e *ExecError) Unwrap() error { return e.Err }
 // Step executes one instruction and returns its dynamic record. After HALT
 // (or a return past the end of code) it returns ok=false.
 func (m *Machine) Step() (DynInst, bool, error) {
+	var d DynInst
+	ok, err := m.stepInto(&d)
+	return d, ok, err
+}
+
+// stepInto executes one instruction, writing its dynamic record into *d.
+// Writing in place (rather than returning the 48-byte record by value) is
+// what lets Fill stream straight into a caller-owned batch.
+func (m *Machine) stepInto(d *DynInst) (bool, error) {
 	if m.Halted {
-		return DynInst{}, false, nil
+		return false, nil
 	}
 	if m.PC < 0 || m.PC >= len(m.Prog.Code) {
 		// Reaching the end-of-code sentinel is a clean halt (return from
 		// the entry function).
 		if m.PC == len(m.Prog.Code) {
 			m.Halted = true
-			return DynInst{}, false, nil
+			return false, nil
 		}
-		return DynInst{}, false, &ExecError{m.PC, m.Seq, fmt.Errorf("pc out of range")}
+		return false, &ExecError{m.PC, m.Seq, fmt.Errorf("pc out of range")}
 	}
 	in := m.Prog.Code[m.PC]
-	d := DynInst{Seq: m.Seq, PC: m.PC, Inst: in, NextPC: m.PC + 1}
-	if err := m.execute(in, &d); err != nil {
-		return DynInst{}, false, &ExecError{m.PC, m.Seq, err}
+	*d = DynInst{Seq: m.Seq, PC: int32(m.PC), Inst: in, NextPC: int32(m.PC) + 1}
+	if err := m.execute(in, d); err != nil {
+		return false, &ExecError{m.PC, m.Seq, err}
 	}
 	m.R[0] = 0
-	m.PC = d.NextPC
+	m.PC = int(d.NextPC)
 	m.Seq++
 	if in.Op == isa.HALT {
 		m.Halted = true
 	}
-	return d, true, nil
+	return true, nil
+}
+
+// Fill executes instructions until dst is full, the program halts, or a
+// fault occurs, and returns the number of records written. The timing
+// models consume the trace in caller-owned batches so the hot feed loop
+// reuses one DynInst array instead of copying a record out of Step per
+// instruction. Records dst[:n] are valid even when err is non-nil: they
+// retired before the faulting instruction.
+//
+// The loop body mirrors stepInto but keeps the program counter and sequence
+// number in locals: execute is an opaque call, so the per-step version must
+// reload and spill machine fields around it on every instruction, which the
+// batched loop pays only once per batch. execute reads the PC through
+// d.PC, never through the machine, keeping the locals authoritative.
+func (m *Machine) Fill(dst []DynInst) (int, error) {
+	if m.Halted {
+		return 0, nil
+	}
+	code := m.Prog.Code
+	pc, seq := m.PC, m.Seq
+	for n := range dst {
+		if pc < 0 || pc >= len(code) {
+			m.PC, m.Seq = pc, seq
+			if pc == len(code) {
+				m.Halted = true
+				return n, nil
+			}
+			return n, &ExecError{pc, seq, fmt.Errorf("pc out of range")}
+		}
+		in := code[pc]
+		d := &dst[n]
+		*d = DynInst{Seq: seq, PC: int32(pc), Inst: in, NextPC: int32(pc) + 1}
+		if err := m.execute(in, d); err != nil {
+			m.PC, m.Seq = pc, seq
+			return n, &ExecError{pc, seq, err}
+		}
+		m.R[0] = 0
+		pc = int(d.NextPC)
+		seq++
+		if in.Op == isa.HALT {
+			m.Halted = true
+			m.PC, m.Seq = pc, seq
+			return n + 1, nil
+		}
+	}
+	m.PC, m.Seq = pc, seq
+	return len(dst), nil
 }
 
 // BudgetError reports that Run's instruction budget ran out before the
@@ -147,68 +207,72 @@ func (m *Machine) Run(limit int64) (int64, error) {
 	}
 }
 
-func (m *Machine) execute(in isa.Inst, d *DynInst) error {
-	setR := func(v int32) {
-		if in.Rd != 0 {
-			m.R[in.Rd] = v
-		}
+// setR writes v to destination register rd, preserving the hardwired zero
+// of r0. It replaces a per-execute closure: as a leaf method it inlines
+// into the opcode switch, which a captured closure call never did.
+func (m *Machine) setR(rd uint8, v int32) {
+	if rd != 0 {
+		m.R[rd] = v
 	}
+}
+
+func (m *Machine) execute(in isa.Inst, d *DynInst) error {
 	rs, rt := m.R[in.Rs], m.R[in.Rt]
 	switch in.Op {
 	case isa.NOP:
 	case isa.ADD:
-		setR(rs + rt)
+		m.setR(in.Rd, rs+rt)
 	case isa.SUB:
-		setR(rs - rt)
+		m.setR(in.Rd, rs-rt)
 	case isa.AND:
-		setR(rs & rt)
+		m.setR(in.Rd, rs&rt)
 	case isa.OR:
-		setR(rs | rt)
+		m.setR(in.Rd, rs|rt)
 	case isa.XOR:
-		setR(rs ^ rt)
+		m.setR(in.Rd, rs^rt)
 	case isa.NOR:
-		setR(^(rs | rt))
+		m.setR(in.Rd, ^(rs | rt))
 	case isa.SLL:
-		setR(rs << (uint32(rt) & 31))
+		m.setR(in.Rd, rs<<(uint32(rt)&31))
 	case isa.SRL:
-		setR(int32(uint32(rs) >> (uint32(rt) & 31)))
+		m.setR(in.Rd, int32(uint32(rs)>>(uint32(rt)&31)))
 	case isa.SRA:
-		setR(rs >> (uint32(rt) & 31))
+		m.setR(in.Rd, rs>>(uint32(rt)&31))
 	case isa.SLT:
-		setR(b2i(rs < rt))
+		m.setR(in.Rd, b2i(rs < rt))
 	case isa.SLTU:
-		setR(b2i(uint32(rs) < uint32(rt)))
+		m.setR(in.Rd, b2i(uint32(rs) < uint32(rt)))
 	case isa.ADDI:
-		setR(rs + in.Imm)
+		m.setR(in.Rd, rs+in.Imm)
 	case isa.ANDI:
-		setR(rs & in.Imm)
+		m.setR(in.Rd, rs&in.Imm)
 	case isa.ORI:
-		setR(rs | in.Imm)
+		m.setR(in.Rd, rs|in.Imm)
 	case isa.XORI:
-		setR(rs ^ in.Imm)
+		m.setR(in.Rd, rs^in.Imm)
 	case isa.SLTI:
-		setR(b2i(rs < in.Imm))
+		m.setR(in.Rd, b2i(rs < in.Imm))
 	case isa.SLLI:
-		setR(rs << (uint32(in.Imm) & 31))
+		m.setR(in.Rd, rs<<(uint32(in.Imm)&31))
 	case isa.SRLI:
-		setR(int32(uint32(rs) >> (uint32(in.Imm) & 31)))
+		m.setR(in.Rd, int32(uint32(rs)>>(uint32(in.Imm)&31)))
 	case isa.SRAI:
-		setR(rs >> (uint32(in.Imm) & 31))
+		m.setR(in.Rd, rs>>(uint32(in.Imm)&31))
 	case isa.LUI:
-		setR(in.Imm << 16)
+		m.setR(in.Rd, in.Imm<<16)
 	case isa.MUL:
-		setR(rs * rt)
+		m.setR(in.Rd, rs*rt)
 	case isa.DIV:
 		if rt == 0 {
-			setR(0)
+			m.setR(in.Rd, 0)
 		} else {
-			setR(rs / rt)
+			m.setR(in.Rd, rs/rt)
 		}
 	case isa.REM:
 		if rt == 0 {
-			setR(0)
+			m.setR(in.Rd, 0)
 		} else {
-			setR(rs % rt)
+			m.setR(in.Rd, rs%rt)
 		}
 	case isa.FADD:
 		m.F[in.Rd] = m.F[in.Rs] + m.F[in.Rt]
@@ -228,27 +292,27 @@ func (m *Machine) execute(in isa.Inst, d *DynInst) error {
 		v := math.Trunc(m.F[in.Rs])
 		switch {
 		case math.IsNaN(v):
-			setR(0)
+			m.setR(in.Rd, 0)
 		case v >= math.MaxInt32:
-			setR(math.MaxInt32)
+			m.setR(in.Rd, math.MaxInt32)
 		case v <= math.MinInt32:
-			setR(math.MinInt32)
+			m.setR(in.Rd, math.MinInt32)
 		default:
-			setR(int32(v))
+			m.setR(in.Rd, int32(v))
 		}
 	case isa.FEQ:
-		setR(b2i(m.F[in.Rs] == m.F[in.Rt]))
+		m.setR(in.Rd, b2i(m.F[in.Rs] == m.F[in.Rt]))
 	case isa.FLT:
-		setR(b2i(m.F[in.Rs] < m.F[in.Rt]))
+		m.setR(in.Rd, b2i(m.F[in.Rs] < m.F[in.Rt]))
 	case isa.FLE:
-		setR(b2i(m.F[in.Rs] <= m.F[in.Rt]))
+		m.setR(in.Rd, b2i(m.F[in.Rs] <= m.F[in.Rt]))
 	case isa.LW:
 		d.Addr = uint32(rs + in.Imm)
 		v, err := m.Mem.ReadWord(d.Addr)
 		if err != nil {
 			return err
 		}
-		setR(int32(v))
+		m.setR(in.Rd, int32(v))
 	case isa.SW:
 		d.Addr = uint32(rs + in.Imm)
 		return m.Mem.WriteWord(d.Addr, uint32(m.R[in.Rd]))
@@ -267,15 +331,15 @@ func (m *Machine) execute(in isa.Inst, d *DynInst) error {
 	case isa.J:
 		m.branch(d, true, in.Imm)
 	case isa.JAL:
-		m.R[isa.RegRA] = int32(m.PC + 1)
+		m.R[isa.RegRA] = d.PC + 1
 		m.branch(d, true, in.Imm)
 	case isa.JR:
 		d.Taken = true
-		d.NextPC = int(rs)
+		d.NextPC = rs
 	case isa.JALR:
-		setR(int32(m.PC + 1))
+		m.setR(in.Rd, d.PC+1)
 		d.Taken = true
-		d.NextPC = int(rs)
+		d.NextPC = rs
 	case isa.MARK:
 	case isa.OUT:
 		m.Out = append(m.Out, rs)
@@ -291,7 +355,7 @@ func (m *Machine) execute(in isa.Inst, d *DynInst) error {
 func (m *Machine) branch(d *DynInst, taken bool, target int32) {
 	d.Taken = taken
 	if taken {
-		d.NextPC = int(target)
+		d.NextPC = target
 	}
 }
 

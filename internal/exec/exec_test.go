@@ -194,7 +194,7 @@ loop:
 			branches++
 			if d.Taken {
 				taken++
-				if d.NextPC != int(d.Inst.Imm) {
+				if d.NextPC != d.Inst.Imm {
 					t.Errorf("taken branch NextPC=%d, want %d", d.NextPC, d.Inst.Imm)
 				}
 			} else if d.NextPC != d.PC+1 {

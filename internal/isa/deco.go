@@ -1,0 +1,71 @@
+package isa
+
+// Deco is a packed per-opcode decode word for the cycle models' hot feed
+// loops. One table lookup answers every register-role question that the
+// general helpers (IntSources, FPSources, HasIntDest, HasFPDest) answer
+// with format switches and slice building: which of the Rd/Rs/Rt fields
+// are integer or FP sources, and which destination kind the opcode writes.
+//
+// The table is built in init by probing those helpers with a synthetic
+// instruction whose three register fields are distinct, so the packed word
+// is consistent with the reference methods by construction; the register
+// roles of every opcode depend only on the opcode (TestDecoMatchesHelpers
+// checks that property across random operands).
+type Deco uint16
+
+// Deco flag bits.
+const (
+	DecoSrcIntRs  Deco = 1 << iota // reads Rs as an integer source
+	DecoSrcIntRt                   // reads Rt as an integer source
+	DecoSrcIntRd                   // reads Rd as an integer source (SW store data)
+	DecoSrcFPRs                    // reads Rs as an FP source
+	DecoSrcFPRt                    // reads Rt as an FP source
+	DecoSrcFPRd                    // reads Rd as an FP source (SD store data)
+	DecoIntDestRd                  // writes Rd as an integer dest when Rd != RegZero
+	DecoIntDestRA                  // writes the link register (JAL)
+	DecoFPDest                     // writes Fd
+)
+
+var decoTable [numOps]Deco
+
+func init() {
+	var buf [2]uint8
+	for op := Op(0); op < numOps; op++ {
+		probe := Inst{Op: op, Rd: 1, Rs: 2, Rt: 3}
+		var d Deco
+		for _, r := range probe.IntSources(buf[:]) {
+			switch r {
+			case probe.Rs:
+				d |= DecoSrcIntRs
+			case probe.Rt:
+				d |= DecoSrcIntRt
+			case probe.Rd:
+				d |= DecoSrcIntRd
+			}
+		}
+		for _, r := range probe.FPSources(buf[:]) {
+			switch r {
+			case probe.Rs:
+				d |= DecoSrcFPRs
+			case probe.Rt:
+				d |= DecoSrcFPRt
+			case probe.Rd:
+				d |= DecoSrcFPRd
+			}
+		}
+		if probe.HasIntDest() {
+			if probe.IntDest() == RegRA && probe.Rd != RegRA {
+				d |= DecoIntDestRA
+			} else {
+				d |= DecoIntDestRd
+			}
+		}
+		if probe.HasFPDest() {
+			d |= DecoFPDest
+		}
+		decoTable[op] = d
+	}
+}
+
+// Deco returns the packed decode word for op.
+func (op Op) Deco() Deco { return decoTable[op] }

@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// decoSources reconstructs the source-register list implied by the packed
+// word, in field order (Rs, Rt, Rd — the order the reference helpers use,
+// except SW/SD where the helpers emit the base Rs before the data Rd,
+// which is the same order).
+func decoSources(in Inst, rs, rt, rd Deco) []uint8 {
+	d := in.Op.Deco()
+	var out []uint8
+	if d&rs != 0 {
+		out = append(out, in.Rs)
+	}
+	if d&rt != 0 {
+		out = append(out, in.Rt)
+	}
+	if d&rd != 0 {
+		out = append(out, in.Rd)
+	}
+	return out
+}
+
+// TestDecoMatchesHelpers checks, for every opcode across random register
+// operands, that the packed decode word reproduces exactly what the
+// reference helpers report. This is the property the feed loops rely on:
+// register roles depend only on the opcode (plus the architectural
+// Rd != RegZero rule for integer destinations, which stays with the
+// caller).
+func TestDecoMatchesHelpers(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var buf [2]uint8
+	for op := Op(0); op < Op(NumOps); op++ {
+		for trial := 0; trial < 64; trial++ {
+			in := Inst{
+				Op: op,
+				Rd: uint8(r.Intn(32)),
+				Rs: uint8(r.Intn(32)),
+				Rt: uint8(r.Intn(32)),
+			}
+			d := op.Deco()
+
+			wantInt := append([]uint8(nil), in.IntSources(buf[:])...)
+			gotInt := decoSources(in, DecoSrcIntRs, DecoSrcIntRt, DecoSrcIntRd)
+			if !sameMultiset(gotInt, wantInt) {
+				t.Fatalf("%v: deco int sources %v, helper says %v", in, gotInt, wantInt)
+			}
+
+			wantFP := append([]uint8(nil), in.FPSources(buf[:])...)
+			gotFP := decoSources(in, DecoSrcFPRs, DecoSrcFPRt, DecoSrcFPRd)
+			if !sameMultiset(gotFP, wantFP) {
+				t.Fatalf("%v: deco FP sources %v, helper says %v", in, gotFP, wantFP)
+			}
+
+			gotIntDest := d&DecoIntDestRA != 0 || d&DecoIntDestRd != 0 && in.Rd != RegZero
+			if gotIntDest != in.HasIntDest() {
+				t.Fatalf("%v: deco int dest %v, helper says %v", in, gotIntDest, in.HasIntDest())
+			}
+			if gotIntDest {
+				dest := in.Rd
+				if d&DecoIntDestRA != 0 {
+					dest = RegRA
+				}
+				if dest != in.IntDest() {
+					t.Fatalf("%v: deco int dest reg %d, helper says %d", in, dest, in.IntDest())
+				}
+			}
+
+			if got := d&DecoFPDest != 0; got != in.HasFPDest() {
+				t.Fatalf("%v: deco FP dest %v, helper says %v", in, got, in.HasFPDest())
+			}
+		}
+	}
+}
+
+func sameMultiset(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var ca, cb [32]int
+	for _, v := range a {
+		ca[v]++
+	}
+	for _, v := range b {
+		cb[v]++
+	}
+	return ca == cb
+}

@@ -23,10 +23,26 @@ type Device interface {
 	MMIOWrite(addr uint32, v uint32)
 }
 
+// tlbSize is the size of the direct-mapped page-translation cache in front
+// of the page map. The executor's working set is a handful of pages (data
+// image, stack top), so a small cache turns nearly every access into one
+// compare instead of a map probe.
+const tlbSize = 8
+
 // Memory is a sparse paged byte-addressable memory, little-endian.
 type Memory struct {
 	pages map[uint32][]byte
-	dev   Device
+	// frames lists every allocated page frame in allocation order, so Reset
+	// can zero them with a deterministic walk instead of a map iteration.
+	frames [][]byte
+	dev    Device
+
+	// Direct-mapped page cache (tlbKey[i] is valid iff tlbVal[i] != nil).
+	// Entries stay valid across Reset: pages are zeroed in place, never
+	// replaced, so a cached translation can only go stale if the map entry
+	// itself disappeared — which never happens.
+	tlbKey [tlbSize]uint32
+	tlbVal [tlbSize][]byte
 }
 
 // New returns an empty memory with no device attached.
@@ -37,23 +53,40 @@ func New() *Memory {
 // AttachDevice routes MMIO-page accesses to dev.
 func (m *Memory) AttachDevice(dev Device) { m.dev = dev }
 
-// Reset drops all contents (the device is kept).
-func (m *Memory) Reset() { m.pages = make(map[uint32][]byte) }
+// Reset drops all contents (the device is kept). Page frames are zeroed in
+// place and reused rather than released: a periodic-task harness resets the
+// machine hundreds of times per experiment, and reallocating the working
+// set each time dominated the engine-level allocation profile.
+func (m *Memory) Reset() {
+	for _, p := range m.frames {
+		clear(p)
+	}
+}
 
 // LoadImage copies data into memory starting at base.
 func (m *Memory) LoadImage(base uint32, data []byte) {
-	for i, b := range data {
-		m.page(base + uint32(i))[int(base+uint32(i))&(pageSize-1)] = b
+	for len(data) > 0 {
+		p := m.page(base)
+		off := int(base) & (pageSize - 1)
+		n := copy(p[off:], data)
+		data = data[n:]
+		base += uint32(n)
 	}
 }
 
 func (m *Memory) page(addr uint32) []byte {
 	key := addr >> pageBits
+	i := key % tlbSize
+	if p := m.tlbVal[i]; p != nil && m.tlbKey[i] == key {
+		return p
+	}
 	p, ok := m.pages[key]
 	if !ok {
 		p = make([]byte, pageSize)
 		m.pages[key] = p
+		m.frames = append(m.frames, p)
 	}
+	m.tlbKey[i], m.tlbVal[i] = key, p
 	return p
 }
 

@@ -1,0 +1,30 @@
+package ooo
+
+import (
+	"testing"
+
+	"visa/internal/cache"
+	"visa/internal/memsys"
+)
+
+// TestFeedAllocFree pins ROADMAP-1 as a regression test: after the LSQ
+// store window, occupancy trackers, and reorder ring reach steady state,
+// the out-of-order Feed path performs zero heap allocations per program
+// pass. The hotalloc analyzer proves this statically; this test measures
+// the compiled artifact so an escape introduced by a refactor (or a
+// compiler change) fails loudly.
+func TestFeedAllocFree(t *testing.T) {
+	stream := benchStream(t, "cnt")
+	ic, dc := cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1)
+	p := New(Config{}, ic, dc, memsys.NewBus(memsys.Default, 1000))
+	pass := func() {
+		p.Rebase(0)
+		for j := range stream {
+			p.Feed(&stream[j])
+		}
+	}
+	pass() // warm: windows and rings grow to the program's high-water mark
+	if n := testing.AllocsPerRun(10, pass); n != 0 {
+		t.Errorf("ooo Feed allocates %.1f times per pass, want 0", n)
+	}
+}

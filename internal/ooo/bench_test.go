@@ -11,7 +11,7 @@ import (
 
 // benchStream pre-executes a clab benchmark through the functional machine
 // so the timed loop below measures only the pipeline Feed hotpath.
-func benchStream(b *testing.B, name string) []exec.DynInst {
+func benchStream(b testing.TB, name string) []exec.DynInst {
 	b.Helper()
 	bm := clab.ByName(name)
 	if bm == nil {

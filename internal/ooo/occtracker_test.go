@@ -1,0 +1,119 @@
+package ooo
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refTracker is the specification occTracker: the multiset of the `size`
+// largest free-times kept in a plain min-heap. The production calendar
+// implementation must match it on every earliest() result.
+type refTracker struct {
+	size int
+	h    minHeap
+}
+
+type minHeap []int64
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (r *refTracker) earliest() int64 {
+	if len(r.h) < r.size {
+		return 0
+	}
+	return r.h[0] + 1
+}
+
+func (r *refTracker) add(t int64) {
+	if len(r.h) < r.size {
+		heap.Push(&r.h, t)
+		return
+	}
+	if t <= r.h[0] {
+		return
+	}
+	r.h[0] = t
+	heap.Fix(&r.h, 0)
+}
+
+// trackerWorkload drives prod and ref through an identical add/earliest
+// sequence and fails on the first divergence.
+func trackerWorkload(t *testing.T, prod *occTracker, ref *refTracker, next func(i int) int64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if got, want := prod.earliest(), ref.earliest(); got != want {
+			t.Fatalf("step %d: earliest() = %d, reference heap says %d", i, got, want)
+		}
+		v := next(i)
+		prod.add(v)
+		ref.add(v)
+	}
+	if got, want := prod.earliest(), ref.earliest(); got != want {
+		t.Fatalf("final earliest() = %d, reference heap says %d", got, want)
+	}
+}
+
+// TestOccTrackerMatchesReferenceHeap pins the calendar occTracker to the
+// reference min-heap semantics across workloads shaped like real pipeline
+// timestamps (nearly sorted with bounded jitter), plus hostile shapes: long
+// stalls that overflow the count ring into the far list, duplicates, and
+// values at the window boundary.
+func TestOccTrackerMatchesReferenceHeap(t *testing.T) {
+	shapes := []struct {
+		name string
+		gen  func(r *rand.Rand) func(i int) int64
+	}{
+		{"nearly-sorted", func(r *rand.Rand) func(i int) int64 {
+			return func(i int) int64 { return int64(i) + r.Int63n(40) }
+		}},
+		{"bursty-stalls", func(r *rand.Rand) func(i int) int64 {
+			var base int64
+			return func(i int) int64 {
+				if r.Intn(200) == 0 {
+					base += occWindow + r.Int63n(3*occWindow) // overflow the ring
+				}
+				base += r.Int63n(4)
+				return base + r.Int63n(30)
+			}
+		}},
+		{"duplicates", func(r *rand.Rand) func(i int) int64 {
+			return func(i int) int64 { return int64(i/7) * 3 }
+		}},
+		{"window-edge", func(r *rand.Rand) func(i int) int64 {
+			return func(i int) int64 {
+				base := int64(i)
+				switch r.Intn(3) {
+				case 0:
+					return base
+				case 1:
+					return base + occWindow - 1
+				default:
+					return base + occWindow
+				}
+			}
+		}},
+	}
+	for _, size := range []int{1, 2, 8, 64} {
+		for _, sh := range shapes {
+			sh := sh
+			r := rand.New(rand.NewSource(int64(size)*1009 + 7))
+			prod := newOccTracker(size)
+			ref := &refTracker{size: size}
+			trackerWorkload(t, &prod, ref, sh.gen(r), 20000)
+			// A reset tracker must behave like a fresh one.
+			prod.reset()
+			trackerWorkload(t, &prod, &refTracker{size: size}, sh.gen(r), 5000)
+		}
+	}
+}

@@ -183,7 +183,10 @@ func (w *widthSlot) reset(t int64) { w.cycle, w.used = t, 0 }
 
 // oooSlotWindow bounds how far apart in cycles concurrently tracked issue
 // slots can be; beyond it (a very long stall) old occupancy is forgotten,
-// which is a negligible, documented approximation.
+// which is a negligible, documented approximation. It must stay a power of
+// two: take indexes the ring with a mask, because a 64-bit divide on the
+// sliding-window modulo was the single hottest operation in the feed-path
+// CPU profile.
 const oooSlotWindow = 8192
 
 // oooSlot allocates per-cycle slots for OUT-OF-ORDER stages (issue, cache
@@ -191,12 +194,16 @@ const oooSlotWindow = 8192
 // stalled one, so per-cycle usage is tracked in a sliding ring.
 type oooSlot struct {
 	width int
-	ring  []uint16
-	base  int64 // cycles [base, base+len(ring)) are tracked
+	ring  []uint8 // always oooSlotWindow entries; counts bounded by width
+	base  int64   // cycles [base, base+oooSlotWindow) are tracked
 }
 
-func newOOOSlot(width int) *oooSlot {
-	return &oooSlot{width: width, ring: make([]uint16, oooSlotWindow)}
+func newOOOSlot(width int) oooSlot {
+	if width > 255 {
+		// Per-cycle usage is counted in uint8 and never exceeds width.
+		panic(fmt.Sprintf("ooo: stage width %d exceeds 255", width))
+	}
+	return oooSlot{width: width, ring: make([]uint8, oooSlotWindow)}
 }
 
 func (s *oooSlot) reset(t int64) {
@@ -209,12 +216,11 @@ func (s *oooSlot) take(t int64) int64 {
 		t = s.base
 	}
 	for {
-		if t >= s.base+int64(len(s.ring)) {
+		if t >= s.base+oooSlotWindow {
 			// The window slid entirely past its contents.
 			s.reset(t)
 		}
-		idx := t % int64(len(s.ring))
-		if int(s.ring[idx]) < s.width {
+		if idx := t & (oooSlotWindow - 1); int(s.ring[idx]) < s.width {
 			s.ring[idx]++
 			return t
 		}
@@ -222,67 +228,160 @@ func (s *oooSlot) take(t int64) int64 {
 	}
 }
 
+// occWindow is the width in cycles of the occupancy tracker's count ring.
+// Must be a power of two (the ring is mask-indexed). Free-times further than
+// occWindow beyond the tracked minimum spill to the (rarely touched) far
+// list, so the window is a performance knob, not a correctness bound.
+const occWindow = 8192
+
 // occTracker models a structure whose entries are allocated in program
 // order but freed OUT of order (issue queue: freed at issue; load/store
 // queue: freed at retire). An allocation at time t needs fewer than `size`
 // older entries still live, i.e. t must exceed the size-th largest
-// free-time seen so far. It keeps a min-heap of the `size` largest
-// free-times.
+// free-time seen so far.
+//
+// Semantically it maintains the multiset S of the `size` largest free-times
+// seen and exposes min(S). The first implementation kept S in a min-heap;
+// its data-dependent sift compares were the single largest source of branch
+// mispredicts in the whole feed path. Free-times arrive nearly sorted
+// (they are pipeline-stage timestamps), so S is now a calendar: a count
+// ring over the cycle window [minV, minV+occWindow) plus a far list for the
+// rare outliers beyond it. A steady-state add is a handful of predictable
+// branches, and the ring cursor advances by amortized O(cycles-per-inst)
+// counter probes. The multiset evolution — and therefore every earliest()
+// result — is bit-identical to the heap's.
 type occTracker struct {
 	size int
-	h    []int64 // min-heap
+	n    int     // live entries in S
+	minV int64   // min(S); valid once n == size
+	cnt  []uint8 // occWindow counters: cnt[v&mask] = multiplicity of v, v in [minV, minV+occWindow)
+	far  []int64 // members >= minV+occWindow, unsorted; far[:farN]
+	farN int
 }
 
-func newOccTracker(size int) *occTracker {
-	return &occTracker{size: size, h: make([]int64, 0, size+1)}
+func newOccTracker(size int) occTracker {
+	if size > 255 {
+		// The ring counts multiplicities in uint8; at most `size` members
+		// can share one cycle. No paper-scale structure comes anywhere
+		// near this, so reject rather than widen the hot array.
+		panic(fmt.Sprintf("ooo: occupancy-tracked structure size %d exceeds 255", size))
+	}
+	return occTracker{
+		size: size,
+		cnt:  make([]uint8, occWindow),
+		far:  make([]int64, size),
+	}
 }
 
-func (o *occTracker) reset() { o.h = o.h[:0] }
+func (o *occTracker) reset() {
+	o.n = 0
+	o.farN = 0
+	clear(o.cnt)
+}
 
 // earliest returns the earliest cycle a new entry can be allocated.
 func (o *occTracker) earliest() int64 {
-	if len(o.h) < o.size {
+	if o.n < o.size {
 		return 0
 	}
-	return o.h[0] + 1
+	return o.minV + 1
 }
 
 // add records a new entry's free-time.
 func (o *occTracker) add(t int64) {
-	o.h = append(o.h, t) //visa:allow(hotalloc): heap is pre-sized to size+1 in newOccTracker and bounded by the pop below
-	// sift up
-	i := len(o.h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if o.h[p] <= o.h[i] {
-			break
+	if o.n < o.size {
+		// Warmup: membership alone decides earliest() (it returns 0 until
+		// the tracker fills), so values park unordered in far until the
+		// fill transition builds the ring around the true minimum.
+		o.far[o.farN] = t
+		o.farN++
+		o.n++
+		if o.n == o.size {
+			o.fill()
 		}
-		o.h[p], o.h[i] = o.h[i], o.h[p]
-		i = p
-	}
-	if len(o.h) <= o.size {
 		return
 	}
-	// pop min (the entry that can no longer bound anything: only the
-	// `size` largest free-times matter)
-	n := len(o.h) - 1
-	o.h[0] = o.h[n]
-	o.h = o.h[:n]
-	i = 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && o.h[l] < o.h[m] {
-			m = l
+	if t <= o.minV {
+		// The new time would itself be the evicted minimum: S is unchanged.
+		return
+	}
+	if t-o.minV < occWindow {
+		o.cnt[t&(occWindow-1)]++
+	} else {
+		o.far[o.farN] = t
+		o.farN++
+	}
+	// Evict one instance of the minimum. min(S) always lies inside the ring
+	// window by construction, so the eviction is a counter decrement; only
+	// when that cycle's count drains does the cursor move.
+	i := o.minV & (occWindow - 1)
+	o.cnt[i]--
+	if o.cnt[i] == 0 {
+		o.advance()
+	}
+}
+
+// fill builds the ring at the warmup→steady transition: the minimum so far
+// becomes the window base and every parked value lands in the ring or stays
+// in far.
+func (o *occTracker) fill() {
+	minV := o.far[0]
+	for _, v := range o.far[1:o.farN] {
+		if v < minV {
+			minV = v
 		}
-		if r < n && o.h[r] < o.h[m] {
-			m = r
+	}
+	o.minV = minV
+	keep := 0
+	for _, v := range o.far[:o.farN] {
+		if v-minV < occWindow {
+			o.cnt[v&(occWindow-1)]++
+		} else {
+			o.far[keep] = v
+			keep++
 		}
-		if m == i {
+	}
+	o.farN = keep
+}
+
+// advance moves minV to the next member of S after the old minimum's cycle
+// drained. Ring members are always smaller than far members (far starts at
+// minV+occWindow), so the next nonzero counter is the new minimum; the scan
+// is bounded by the window, and its total work over a run is bounded by
+// total cycle advancement.
+func (o *occTracker) advance() {
+	limit := o.minV + occWindow
+	for c := o.minV + 1; c < limit; c++ {
+		if o.cnt[c&(occWindow-1)] != 0 {
+			o.minV = c
+			if o.farN != 0 {
+				o.migrate()
+			}
 			return
 		}
-		o.h[i], o.h[m] = o.h[m], o.h[i]
-		i = m
+	}
+	// Ring drained entirely: the remaining members all sit in far.
+	minV := o.far[0]
+	for _, v := range o.far[1:o.farN] {
+		if v < minV {
+			minV = v
+		}
+	}
+	o.minV = minV
+	o.migrate()
+}
+
+// migrate pulls far members that the advanced window now covers into the
+// ring (swap-remove; far is unordered).
+func (o *occTracker) migrate() {
+	for i := 0; i < o.farN; {
+		if v := o.far[i]; v-o.minV < occWindow {
+			o.cnt[v&(occWindow-1)]++
+			o.farN--
+			o.far[i] = o.far[o.farN]
+			continue
+		}
+		i++
 	}
 }
 
@@ -316,22 +415,23 @@ type Pipeline struct {
 
 	// windows: the ROB allocates and frees in order (circular timestamp
 	// buffer); the IQ and LSQ free out of order (occupancy trackers).
+	// The trackers and slot rings are value fields — one flat Pipeline
+	// allocation instead of six heap objects chased per fed instruction.
 	robRetire []int64 // retire time of instruction i-ROBSize
-	iqOcc     *occTracker
-	lsqOcc    *occTracker
-	seq       int64
+	robIdx    int     // next robRetire slot (wraps at ROBSize)
+	iqOcc     occTracker
+	lsqOcc    occTracker
 
-	dispatchSlots *oooSlot
-	issueSlots    *oooSlot
-	portSlots     *oooSlot
-	retireSlots   *oooSlot
+	dispatchSlots oooSlot
+	issueSlots    oooSlot
+	portSlots     oooSlot
+	retireSlots   oooSlot
 
 	// th holds per-hardware-thread state. Thread 0 is the hard real-time
 	// task; additional threads are created on demand by FeedThread.
 	th []*threadCtx
 
-	act    power.Activity
-	srcBuf [2]uint8
+	act power.Activity
 
 	// Stats
 	BranchMispredicts int64
@@ -388,18 +488,28 @@ type threadCtx struct {
 	intReady [32]int64
 	fpReady  [32]int64
 
-	stores      []storeRec
+	stores      []storeRec // in-flight store window, cap fixed at LSQSize
 	maxComplete int64
 	lastRetire  int64
 }
 
-func newThreadCtx(cycle int64) *threadCtx {
-	t := &threadCtx{redirect: cycle, maxComplete: cycle, lastRetire: cycle, lastFetch: cycle}
+func newThreadCtx(cycle int64, lsqSize int) *threadCtx {
+	t := &threadCtx{stores: make([]storeRec, 0, lsqSize)}
+	t.reset(cycle)
+	return t
+}
+
+// reset restores a (possibly recycled) thread context to its
+// just-created-at-cycle state. The store window keeps its backing array, so
+// a context reused across Rebase never re-allocates.
+func (t *threadCtx) reset(cycle int64) {
+	t.redirect, t.maxComplete, t.lastRetire, t.lastFetch = cycle, cycle, cycle, cycle
+	t.fetchBlock, t.haveBlock = 0, false
+	t.stores = t.stores[:0]
 	for i := range t.intReady {
 		t.intReady[i] = cycle
 		t.fpReady[i] = cycle
 	}
-	return t
 }
 
 // New builds a complex pipeline with its own predictors around the shared
@@ -437,7 +547,7 @@ func (p *Pipeline) SimpleEngine() *simple.Pipeline { return p.simple }
 func (p *Pipeline) Rebase(cycle int64) {
 	p.mode = ModeComplex
 	p.fetchSlots = widthSlot{width: p.Cfg.FetchWidth}
-	if p.issueSlots == nil {
+	if p.issueSlots.ring == nil {
 		p.dispatchSlots = newOOOSlot(p.Cfg.FetchWidth)
 		p.issueSlots = newOOOSlot(p.Cfg.FUCount)
 		p.portSlots = newOOOSlot(p.Cfg.CachePorts)
@@ -453,16 +563,40 @@ func (p *Pipeline) Rebase(cycle int64) {
 	}
 	p.iqOcc.reset()
 	p.lsqOcc.reset()
-	p.seq = 0
-	p.th = p.th[:0]
-	p.th = append(p.th, newThreadCtx(cycle))
+	p.robIdx = 0
+	// Recycle thread contexts: a periodic-task harness rebases once per
+	// instance, and re-allocating the context (store window included) each
+	// time showed up in the engine allocation profile.
+	if len(p.th) == 0 {
+		p.th = append(p.th, newThreadCtx(cycle, p.Cfg.LSQSize))
+	} else {
+		p.th = p.th[:1]
+		p.th[0].reset(cycle)
+	}
 	p.simple.Rebase(cycle)
 }
 
 // thread returns (creating if needed) hardware-thread tid's context.
 func (p *Pipeline) thread(tid int) *threadCtx {
+	if tid < len(p.th) {
+		return p.th[tid]
+	}
+	return p.growThreads(tid)
+}
+
+// growThreads extends the thread table to cover tid, reviving contexts left
+// in the backing array by an earlier Rebase truncation before allocating new
+// ones. Kept out of thread itself so the hot feed path's thread lookup stays
+// allocation-free by construction.
+func (p *Pipeline) growThreads(tid int) *threadCtx {
+	at := p.th[0].lastRetire
 	for len(p.th) <= tid {
-		p.th = append(p.th, newThreadCtx(p.th[0].lastRetire)) //visa:allow(hotalloc): one-time hardware-thread-context creation, not per-cycle
+		if n := len(p.th); n < cap(p.th) && p.th[:n+1][n] != nil {
+			p.th = p.th[:n+1]
+			p.th[n].reset(at)
+			continue
+		}
+		p.th = append(p.th, newThreadCtx(at, p.Cfg.LSQSize))
 	}
 	return p.th[tid]
 }
@@ -555,10 +689,10 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) (int64, error) {
 	// --- Fetch ---
 	ft := p.fetchSlots.take(t.redirect)
 	p.act.Fetches++
-	blk := p.ICache.Block(isa.InstAddr(d.PC))
+	blk := p.ICache.Block(isa.InstAddr(int(d.PC)))
 	if !t.haveBlock || blk != t.fetchBlock {
 		p.act.ICacheAcc++
-		if !p.ICache.Access(isa.InstAddr(d.PC)) {
+		if !p.ICache.Access(isa.InstAddr(int(d.PC))) {
 			fill := p.Bus.Request(ft)
 			p.fetchSlots.reset(fill)
 			ft = p.fetchSlots.take(fill)
@@ -577,7 +711,7 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) (int64, error) {
 
 	// --- Dispatch: rename, allocate ROB/IQ/LSQ ---
 	dt := ft + 1
-	if free := p.robRetire[p.seq%int64(cfg.ROBSize)]; free+1 > dt {
+	if free := p.robRetire[p.robIdx]; free+1 > dt {
 		dt = free + 1
 		p.Stats.ROBStalls++
 	}
@@ -610,16 +744,41 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) (int64, error) {
 	// --- Issue: wait for operands, a FU issue slot, and (memory ops) a
 	// cache port. Register read occupies the cycle after issue. ---
 	it := dt + 1
-	for _, r := range in.IntSources(p.srcBuf[:]) {
+	fl := in.Op.Deco()
+	if fl&isa.DecoSrcIntRs != 0 {
 		p.act.RegReads++
-		if t.intReady[r] > it {
-			it = t.intReady[r]
+		if v := t.intReady[in.Rs]; v > it {
+			it = v
 		}
 	}
-	for _, r := range in.FPSources(p.srcBuf[:]) {
+	if fl&isa.DecoSrcIntRt != 0 {
 		p.act.RegReads++
-		if t.fpReady[r] > it {
-			it = t.fpReady[r]
+		if v := t.intReady[in.Rt]; v > it {
+			it = v
+		}
+	}
+	if fl&isa.DecoSrcIntRd != 0 {
+		p.act.RegReads++
+		if v := t.intReady[in.Rd]; v > it {
+			it = v
+		}
+	}
+	if fl&isa.DecoSrcFPRs != 0 {
+		p.act.RegReads++
+		if v := t.fpReady[in.Rs]; v > it {
+			it = v
+		}
+	}
+	if fl&isa.DecoSrcFPRt != 0 {
+		p.act.RegReads++
+		if v := t.fpReady[in.Rt]; v > it {
+			it = v
+		}
+	}
+	if fl&isa.DecoSrcFPRd != 0 {
+		p.act.RegReads++
+		if v := t.fpReady[in.Rd]; v > it {
+			it = v
 		}
 	}
 	lat := int64(in.Op.Latency())
@@ -693,7 +852,10 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) (int64, error) {
 	}
 	rt = p.retireSlots.take(rt)
 	t.lastRetire = rt
-	p.robRetire[p.seq%int64(cfg.ROBSize)] = rt
+	p.robRetire[p.robIdx] = rt
+	if p.robIdx++; p.robIdx == cfg.ROBSize {
+		p.robIdx = 0
+	}
 	if isMem {
 		p.lsqOcc.add(rt)
 	}
@@ -707,23 +869,28 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) (int64, error) {
 	if in.Op.Class() == isa.ClassLoad {
 		ready = ct
 	}
-	if in.HasIntDest() {
+	if fl&isa.DecoIntDestRd != 0 && in.Rd != isa.RegZero {
 		p.act.RegWrites++
-		t.intReady[in.IntDest()] = ready
+		t.intReady[in.Rd] = ready
+	} else if fl&isa.DecoIntDestRA != 0 {
+		p.act.RegWrites++
+		t.intReady[isa.RegRA] = ready
 	}
-	if in.HasFPDest() {
+	if fl&isa.DecoFPDest != 0 {
 		p.act.RegWrites++
 		t.fpReady[in.Rd] = ready
 	}
 	if isMem && in.Op.Class() == isa.ClassStore {
-		// Compact in place rather than re-slicing off the front: stores[1:]
-		// would strand capacity and make this append reallocate every
-		// LSQSize stores forever; copy-down keeps the backing array stable
-		// after the warmup growth to LSQSize+1 entries.
-		t.stores = append(t.stores, storeRec{p.DCache.Block(d.Addr), ct}) //visa:allow(hotalloc): grows only during warmup to LSQSize+1, then the backing array is stable
-		if len(t.stores) > cfg.LSQSize {
+		// The window holds at most LSQSize in-flight stores. At capacity the
+		// oldest slides out via copy-down (re-slicing off the front would
+		// strand capacity); below it the slice extends within its fixed
+		// LSQSize backing array from newThreadCtx. Either way: no allocation.
+		if n := len(t.stores); n == cfg.LSQSize {
 			copy(t.stores, t.stores[1:])
-			t.stores = t.stores[:cfg.LSQSize]
+			t.stores[n-1] = storeRec{p.DCache.Block(d.Addr), ct}
+		} else {
+			t.stores = t.stores[:n+1]
+			t.stores[n] = storeRec{p.DCache.Block(d.Addr), ct}
 		}
 	}
 
@@ -731,27 +898,26 @@ func (p *Pipeline) FeedThread(tid int, d *exec.DynInst) (int64, error) {
 	switch in.Op.Class() {
 	case isa.ClassBranch:
 		p.act.BPred++
-		pred := p.Gshare.Predict(d.PC)
+		pred := p.Gshare.Predict(int(d.PC))
 		if p.Inject != nil && p.Inject.PoisonBranch() {
 			pred = !d.Taken // poisoned predictor state: forced mispredict
 		}
-		p.Gshare.Update(d.PC, d.Taken)
+		p.Gshare.Update(int(d.PC), d.Taken)
 		if pred != d.Taken {
 			p.BranchMispredicts++
 			p.redirectFetch(t, ct+1, tid == 0)
 		}
 	case isa.ClassJR:
 		p.act.BPred++
-		target, ok := p.Indirect.Predict(d.PC)
-		p.Indirect.Update(d.PC, d.NextPC)
-		if !ok || target != d.NextPC {
+		target, ok := p.Indirect.Predict(int(d.PC))
+		p.Indirect.Update(int(d.PC), int(d.NextPC))
+		if !ok || target != int(d.NextPC) {
 			p.IndirectMispreds++
 			p.redirectFetch(t, ct+1, tid == 0)
 		}
 	case isa.ClassJump:
 		// Direct targets come from the BTB merged with the I-cache.
 	}
-	p.seq++
 	return rt, nil
 }
 

@@ -1,0 +1,52 @@
+package rt
+
+import (
+	"testing"
+
+	"visa/internal/clab"
+	"visa/internal/core"
+	"visa/internal/power"
+)
+
+// TestRunTaskAllocBudget pins the engine-level allocation budget for one
+// steady-state task instance — the unit of work Figure 2's experiment runs
+// thousands of times. The per-cycle loops (functional Fill, pipeline Feed)
+// must contribute nothing; what remains is per-instance bookkeeping (the
+// AET slice and the protocol closures), so the budget is a small constant
+// independent of the instruction count.
+func TestRunTaskAllocBudget(t *testing.T) {
+	s, err := GetSetup(clab.ByName("cnt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := s.Deadline(false)
+	params := core.Params{DeadlineNs: deadline, OvhdNs: OvhdNs}
+	plan, ok := core.Solve(core.SpecVISA, params, s.Table, s.WCETSeedPETs())
+	if !ok {
+		t.Fatal("no feasible plan for cnt")
+	}
+
+	acct := &power.Accounting{Profile: power.ComplexProfile}
+	ps := newProcSim(s.Prog, ProcComplex, plan.Spec.FMHz)
+	var runErr error
+	run := func() {
+		if _, err := ps.runTask(plan, acct, 0, nil); err != nil {
+			runErr = err
+		}
+	}
+	run() // warm: caches, predictors, and window high-water marks
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	allocs := testing.AllocsPerRun(5, run)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	// Budget: the aets slice plus the two protocol closures and their
+	// captured frame. Anything above this means a cycle-proportional
+	// allocation crept back into the feed path.
+	const budget = 8
+	if allocs > budget {
+		t.Errorf("runTask allocates %.1f per steady-state instance, budget %d", allocs, budget)
+	}
+}

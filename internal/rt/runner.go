@@ -196,60 +196,69 @@ func (ps *procSim) runTask(plan *core.Plan, acct *power.Accounting, seed int32, 
 		ob.subTask(curSub, aetBoundary, now, cyc)
 	}
 
+	// Executing in batches keeps the functional machine's fused Fill loop
+	// hot and feeds the pipeline from a stack-resident array instead of
+	// stepping one DynInst at a time through an out parameter. Fill never
+	// buffers past an error: dst[:n] holds only completed instructions, so
+	// feeding them before surfacing ferr times exactly what executed.
+	var batch [64]exec.DynInst
 	for {
-		d, ok, err := ps.machine.Step()
-		if err != nil {
-			return res, err
-		}
-		if !ok {
-			break
-		}
-		if d.Inst.Op == isa.MARK {
-			now := ps.now()
-			k := int(d.Inst.Imm)
-			closeSub(now)
-			if pendingSwitch {
-				// Conventional recovery (EQ 2): the mispredicted sub-task
-				// finished at the speculative frequency; remaining
-				// sub-tasks run at the recovery frequency.
-				doFreqSwitch(now)
-				ob.checkpointMiss(curSub, now, now, false)
-				pendingSwitch = false
+		n, ferr := ps.machine.Fill(batch[:])
+		for bi := 0; bi < n; bi++ {
+			d := &batch[bi]
+			if d.Inst.Op == isa.MARK {
+				now := ps.now()
+				k := int(d.Inst.Imm)
+				closeSub(now)
+				if pendingSwitch {
+					// Conventional recovery (EQ 2): the mispredicted sub-task
+					// finished at the speculative frequency; remaining
+					// sub-tasks run at the recovery frequency.
+					doFreqSwitch(now)
+					ob.checkpointMiss(curSub, now, now, false)
+					pendingSwitch = false
+				}
+				if k >= 1 && wd.Armed() {
+					ob.checkpoint(k, now, wd.Remaining(now), plan.WatchdogAdd[k])
+					ps.inst.checkpointMargin(wd.Remaining(now))
+					wd.Add(now, plan.WatchdogAdd[k])
+				}
+				curSub = k
+				aetBoundary = now
 			}
-			if k >= 1 && wd.Armed() {
-				ob.checkpoint(k, now, wd.Remaining(now), plan.WatchdogAdd[k])
-				ps.inst.checkpointMargin(wd.Remaining(now))
-				wd.Add(now, plan.WatchdogAdd[k])
+			rt := ps.feed(d)
+			if ps.budget > 0 && rt > ps.budget {
+				return res, errf("rt: %w: %d cycles > budget %d", ErrCycleBudget, rt, ps.budget)
 			}
-			curSub = k
-			aetBoundary = now
-		}
-		rt := ps.feed(&d)
-		if ps.budget > 0 && rt > ps.budget {
-			return res, errf("rt: %w: %d cycles > budget %d", ErrCycleBudget, rt, ps.budget)
-		}
-		if !switched && !pendingSwitch && wd.Expired(rt) {
-			wd.Disarm()
-			if ps.cx != nil {
-				// Missed checkpoint on the VISA-compliant core (§2.2):
-				// drain, account the speculative segment, and re-configure
-				// into simple mode at the recovery frequency.
-				a := ps.takeActivity()
-				a.Cycles = rt
-				acct.AddSegment(a, fs.Volts)
-				switched = true
-				switchAt = rt
-				res.missed = true
-				switchStart = ps.cx.SwitchToSimple(rt)
-				ps.bus.SetFreq(fr.FMHz)
-				ob.checkpointMiss(curSub, switchAt, switchStart, true)
-				ps.inst.switchDrain(switchAt, switchStart)
-			} else {
-				// PET misprediction on the explicitly-safe core: finish
-				// the sub-task at f_spec, then switch frequency.
-				ob.petMispredict(curSub, rt)
-				pendingSwitch = true
+			if !switched && !pendingSwitch && wd.Expired(rt) {
+				wd.Disarm()
+				if ps.cx != nil {
+					// Missed checkpoint on the VISA-compliant core (§2.2):
+					// drain, account the speculative segment, and re-configure
+					// into simple mode at the recovery frequency.
+					a := ps.takeActivity()
+					a.Cycles = rt
+					acct.AddSegment(a, fs.Volts)
+					switched = true
+					switchAt = rt
+					res.missed = true
+					switchStart = ps.cx.SwitchToSimple(rt)
+					ps.bus.SetFreq(fr.FMHz)
+					ob.checkpointMiss(curSub, switchAt, switchStart, true)
+					ps.inst.switchDrain(switchAt, switchStart)
+				} else {
+					// PET misprediction on the explicitly-safe core: finish
+					// the sub-task at f_spec, then switch frequency.
+					ob.petMispredict(curSub, rt)
+					pendingSwitch = true
+				}
 			}
+		}
+		if ferr != nil {
+			return res, ferr
+		}
+		if n < len(batch) {
+			break // machine halted
 		}
 	}
 	if pendingSwitch {

@@ -1,0 +1,29 @@
+package simple
+
+import (
+	"testing"
+
+	"visa/internal/cache"
+	"visa/internal/memsys"
+)
+
+// TestFeedAllocFree pins ROADMAP-1 as a regression test: once caches have
+// warmed up, the in-order Feed path performs zero heap allocations per
+// program pass. The hotalloc analyzer proves the absence of allocating
+// constructs statically; this measures the compiled artifact, so an escape
+// introduced by a refactor (or a compiler change) fails loudly here.
+func TestFeedAllocFree(t *testing.T) {
+	stream := benchStream(t, "cnt")
+	ic, dc := cache.MustNew(cache.VISAL1), cache.MustNew(cache.VISAL1)
+	p := New(ic, dc, memsys.NewBus(memsys.Default, 1000))
+	pass := func() {
+		p.Rebase(0)
+		for j := range stream {
+			p.Feed(&stream[j])
+		}
+	}
+	pass() // warm: cache fills are architectural state, not churn
+	if n := testing.AllocsPerRun(10, pass); n != 0 {
+		t.Errorf("simple Feed allocates %.1f times per pass, want 0", n)
+	}
+}

@@ -12,7 +12,7 @@ import (
 // benchStream pre-executes a clab benchmark through the functional machine
 // so the timed loop below measures only the pipeline Feed hotpath, not
 // instruction semantics.
-func benchStream(b *testing.B, name string) []exec.DynInst {
+func benchStream(b testing.TB, name string) []exec.DynInst {
 	b.Helper()
 	bm := clab.ByName(name)
 	if bm == nil {

@@ -25,6 +25,7 @@ package simple
 
 import (
 	"visa/internal/bpred"
+	"visa/internal/cache"
 	"visa/internal/exec"
 	"visa/internal/isa"
 	"visa/internal/obs"
@@ -92,6 +93,13 @@ type Pipeline struct {
 	// paranoid envelope (see Injector).
 	Inject Injector
 
+	// ic/dc are devirtualized fast paths, set by New when the corresponding
+	// interface holds a concrete *cache.Cache (the simulator default). Feed
+	// is called once per dynamic instruction, and the direct call replaces
+	// an itab dispatch the compiler can never inline; the WCET analyzer's
+	// categorization-driven cache stand-ins keep using the interface path.
+	ic, dc *cache.Cache
+
 	lastFetch int64 // completion cycle of the most recent fetch
 	redirect  int64 // earliest cycle fetch may resume after a control stall
 	exFree    int64 // cycle the execute stage accepts a new instruction
@@ -100,8 +108,7 @@ type Pipeline struct {
 	intReady  [32]int64
 	fpReady   [32]int64
 
-	act    power.Activity
-	srcBuf [2]uint8
+	act power.Activity
 
 	// Mispredicts counts static-heuristic conditional mispredictions plus
 	// indirect stalls, for reporting.
@@ -137,8 +144,26 @@ func (p *Pipeline) RegisterObs(reg *obs.Registry, prefix string) {
 // New builds a VISA pipeline around the given cache hierarchy.
 func New(ic, dc Cache, bus Bus) *Pipeline {
 	p := &Pipeline{ICache: ic, DCache: dc, Bus: bus, SnippetCycles: DefaultSnippetCycles}
+	p.ic, _ = ic.(*cache.Cache)
+	p.dc, _ = dc.(*cache.Cache)
 	p.Rebase(0)
 	return p
+}
+
+// accessI touches the I-cache through the devirtualized path when available.
+func (p *Pipeline) accessI(addr uint32) bool {
+	if p.ic != nil {
+		return p.ic.Access(addr)
+	}
+	return p.ICache.Access(addr)
+}
+
+// accessD touches the D-cache through the devirtualized path when available.
+func (p *Pipeline) accessD(addr uint32) bool {
+	if p.dc != nil {
+		return p.dc.Access(addr)
+	}
+	return p.DCache.Access(addr)
 }
 
 // Rebase restarts pipeline timing at the given cycle: the pipeline is empty
@@ -292,7 +317,7 @@ func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 	}
 	p.act.Fetches++
 	p.act.ICacheAcc++
-	if !p.ICache.Access(isa.InstAddr(d.PC)) {
+	if !p.accessI(isa.InstAddr(int(d.PC))) {
 		fs += p.missPenalty()
 	}
 	p.lastFetch = fs
@@ -305,16 +330,41 @@ func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 		p.Stats.FUStallCycles += p.exFree - issue
 		issue = p.exFree
 	}
-	for _, r := range in.IntSources(p.srcBuf[:]) {
+	fl := in.Op.Deco()
+	if fl&isa.DecoSrcIntRs != 0 {
 		p.act.RegReads++
-		if p.intReady[r] > issue {
-			issue = p.intReady[r]
+		if v := p.intReady[in.Rs]; v > issue {
+			issue = v
 		}
 	}
-	for _, r := range in.FPSources(p.srcBuf[:]) {
+	if fl&isa.DecoSrcIntRt != 0 {
 		p.act.RegReads++
-		if p.fpReady[r] > issue {
-			issue = p.fpReady[r]
+		if v := p.intReady[in.Rt]; v > issue {
+			issue = v
+		}
+	}
+	if fl&isa.DecoSrcIntRd != 0 {
+		p.act.RegReads++
+		if v := p.intReady[in.Rd]; v > issue {
+			issue = v
+		}
+	}
+	if fl&isa.DecoSrcFPRs != 0 {
+		p.act.RegReads++
+		if v := p.fpReady[in.Rs]; v > issue {
+			issue = v
+		}
+	}
+	if fl&isa.DecoSrcFPRt != 0 {
+		p.act.RegReads++
+		if v := p.fpReady[in.Rt]; v > issue {
+			issue = v
+		}
+	}
+	if fl&isa.DecoSrcFPRd != 0 {
+		p.act.RegReads++
+		if v := p.fpReady[in.Rd]; v > issue {
+			issue = v
 		}
 	}
 	lat := int64(in.Op.Latency())
@@ -340,7 +390,7 @@ func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 	memDone := memStart + 1
 	if in.Op.IsMem() && d.Addr < isa.MMIOBase {
 		p.act.DCacheAcc++
-		if !p.DCache.Access(d.Addr) {
+		if !p.accessD(d.Addr) {
 			memDone += p.missPenalty()
 		}
 	}
@@ -361,15 +411,18 @@ func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 
 	// Destination availability (full bypass network: values usable the
 	// cycle after they are produced).
-	if in.HasIntDest() {
+	if fl&isa.DecoIntDestRd != 0 && in.Rd != isa.RegZero {
 		p.act.RegWrites++
 		ready := exDone
 		if in.Op == isa.LW {
 			ready = memDone
 		}
-		p.intReady[in.IntDest()] = ready
+		p.intReady[in.Rd] = ready
+	} else if fl&isa.DecoIntDestRA != 0 {
+		p.act.RegWrites++
+		p.intReady[isa.RegRA] = exDone
 	}
-	if in.HasFPDest() {
+	if fl&isa.DecoFPDest != 0 {
 		p.act.RegWrites++
 		ready := exDone
 		if in.Op == isa.LD {
@@ -382,7 +435,7 @@ func (p *Pipeline) Feed(d *exec.DynInst) int64 {
 	// direct jumps, and a fetch stall until execution for indirect jumps.
 	switch in.Op.Class() {
 	case isa.ClassBranch:
-		if bpred.StaticTaken(d.PC, in.Imm) != d.Taken {
+		if bpred.StaticTaken(int(d.PC), in.Imm) != d.Taken {
 			p.redirect = exDone
 			p.Mispredicts++
 		}

@@ -39,6 +39,15 @@ type Analyzer struct {
 	pathsMemo map[loopKey]loopPathsVal
 	sumMemo   map[sumKey]int64
 	fnMemo    map[fnKey]int64
+
+	// engPool recycles simulation engines across phases. A full analysis
+	// times hundreds of thousands of path phases, and building a fresh
+	// pipeline + categorization cache for each one dominated the allocation
+	// profile of every experiment that computes WCET tables. The pool is a
+	// stack because phases nest: loopTotal holds an engine while the paths
+	// it times recurse into inner-loop and callee summaries that need their
+	// own.
+	engPool []*engUnit
 }
 
 type loopKey struct {
@@ -202,18 +211,39 @@ func missSteady(a *Analyzer) missFn {
 // --- simulation plumbing ---
 
 // catICache drives the shared VISA timing engine from categorizations.
+// Residency is a generation-stamped array over the code segment's blocks:
+// reset is a counter bump instead of a fresh map, so a pooled engine starts
+// a new phase without touching the (per-block) backing store at all.
 type catICache struct {
 	a        *Analyzer
 	miss     missFn
-	loaded   map[uint32]bool
+	loaded   []uint32 // per code block; loaded[i] == gen means resident
+	gen      uint32
+	blkBase  uint32 // block number of the first code block
 	last     uint32
 	haveLast bool
 }
 
+func newCatICache(a *Analyzer) *catICache {
+	bb := a.CacheCfg.BlockBytes
+	nblk := (len(a.Prog.Code)*isa.InstBytes + bb - 1) / bb
+	return &catICache{
+		a:       a,
+		loaded:  make([]uint32, nblk+1),
+		blkBase: isa.CodeBase / uint32(bb),
+	}
+}
+
 func (c *catICache) reset(miss missFn) {
 	c.miss = miss
-	c.loaded = map[uint32]bool{}
 	c.haveLast = false
+	c.gen++
+	if c.gen == 0 {
+		// Stamp wraparound after 2^32 resets: old stamps could alias the
+		// new generation, so pay for one real clear.
+		clear(c.loaded)
+		c.gen = 1
+	}
 }
 
 func (c *catICache) Access(addr uint32) bool {
@@ -222,16 +252,17 @@ func (c *catICache) Access(addr uint32) bool {
 		return true // sequential fetch within the just-fetched block
 	}
 	c.last, c.haveLast = blk, true
-	if c.loaded[blk] {
+	idx := blk - c.blkBase
+	if c.loaded[idx] == c.gen {
 		return true
 	}
 	pc := int((addr - isa.CodeBase) / isa.InstBytes)
 	if !c.miss(pc) {
-		c.loaded[blk] = true
+		c.loaded[idx] = c.gen
 		return true
 	}
 	if c.a.Cats[pc].Cat != AlwaysMiss {
-		c.loaded[blk] = true // persistent: resident after the one miss
+		c.loaded[idx] = c.gen // persistent: resident after the one miss
 	}
 	return false
 }
@@ -248,30 +279,63 @@ type missCache struct{}
 
 func (missCache) Access(uint32) bool { return false }
 
-// penBus supplies the miss penalty at the analysis frequency.
+// penBus supplies the miss penalty at the analysis frequency. It is held
+// by pointer so a pooled engine can be retuned to a new frequency in place.
 type penBus struct{ pen int64 }
 
-func (b penBus) Latency() int64 { return b.pen }
+func (b *penBus) Latency() int64 { return b.pen }
 
-// engine builds a fresh VISA timing engine for one simulation phase.
-func (a *Analyzer) engine(pen int64, miss missFn) (*simple.Pipeline, *catICache) {
-	ic := &catICache{a: a}
+// engUnit is one pooled simulation engine with the handles needed to
+// re-arm it for a new phase.
+type engUnit struct {
+	eng    *simple.Pipeline
+	ic     *catICache
+	bus    *penBus
+	dcMiss bool // which D-cache stand-in the engine was built with
+}
+
+// engine returns a drained VISA timing engine configured for one
+// simulation phase, reusing a pooled one when available. Pass the unit
+// back to release when the phase ends. Accumulating pipeline statistics
+// (activity, stall counters) survive reuse; the analyzer never reads them.
+func (a *Analyzer) engine(pen int64, miss missFn) *engUnit {
+	dcMiss := a.staticDC && !a.staticDCFits
+	for n := len(a.engPool); n > 0; n = len(a.engPool) {
+		u := a.engPool[n-1]
+		a.engPool = a.engPool[:n-1]
+		if u.dcMiss != dcMiss {
+			continue // built against the other D-cache stand-in: rebuild
+		}
+		u.bus.pen = pen
+		u.ic.reset(miss)
+		u.eng.SnippetCycles = a.SnippetCycles
+		u.eng.Rebase(0)
+		return u
+	}
+	ic := newCatICache(a)
 	ic.reset(miss)
 	var dc simple.Cache = hitCache{}
-	if a.staticDC && !a.staticDCFits {
+	if dcMiss {
 		dc = missCache{}
 	}
-	eng := simple.New(ic, dc, penBus{pen})
+	bus := &penBus{pen}
+	eng := simple.New(ic, dc, bus)
 	eng.SnippetCycles = a.SnippetCycles
-	return eng, ic
+	return &engUnit{eng: eng, ic: ic, bus: bus, dcMiss: dcMiss}
+}
+
+// release returns a phase's engine to the pool.
+func (a *Analyzer) release(u *engUnit) {
+	a.engPool = append(a.engPool, u)
 }
 
 // simPath times one path from a drained pipeline at cycle 0 and returns the
 // completion cycle. Inner loops and calls are charged their (memoized)
 // summaries as drained segments.
 func (a *Analyzer) simPath(fg *cfg.FuncGraph, p path, pen int64, miss missFn) (int64, error) {
-	eng, _ := a.engine(pen, miss)
-	return a.runPath(eng, fg, p, pen, true)
+	u := a.engine(pen, miss)
+	defer a.release(u)
+	return a.runPath(u.eng, fg, p, pen, true)
 }
 
 // runPath feeds a path into eng. coldInner selects the charging context for
@@ -293,7 +357,7 @@ func (a *Analyzer) runPath(eng *simple.Pipeline, fg *cfg.FuncGraph, p path, pen 
 			}
 			eng.Rebase(eng.Now() + cyc)
 		default:
-			d = exec.DynInst{PC: s.pc, Inst: fg.Prog.Code[s.pc], Taken: s.taken}
+			d = exec.DynInst{PC: int32(s.pc), Inst: fg.Prog.Code[s.pc], Taken: s.taken}
 			eng.Feed(&d)
 		}
 	}
@@ -350,43 +414,49 @@ func (a *Analyzer) loopTotal(fg *cfg.FuncGraph, l *cfg.Loop, pen int64, cold boo
 	steady := int64(0)
 	join := simple.State{}
 	for _, p := range pv.body {
-		eng, _ := a.engine(pen, missSteady(a))
+		u := a.engine(pen, missSteady(a))
 		prev := int64(0)
 		for rep := 0; rep < 4; rep++ {
-			if _, err := a.runPath(eng, fg, p, pen, false); err != nil {
+			if _, err := a.runPath(u.eng, fg, p, pen, false); err != nil {
+				a.release(u)
 				return 0, err
 			}
-			delta := eng.Now() - prev
-			prev = eng.Now()
+			delta := u.eng.Now() - prev
+			prev = u.eng.Now()
 			if rep > 0 && delta > steady {
 				steady = delta
 			}
 		}
-		join = join.Join(eng.State().Shifted(-eng.Now()))
+		join = join.Join(u.eng.State().Shifted(-u.eng.Now()))
+		a.release(u)
 	}
 	for _, p := range pv.body {
-		eng, ic := a.engine(pen, missSteady(a))
-		ic.reset(missSteady(a))
-		eng.SetState(join)
-		if _, err := a.runPath(eng, fg, p, pen, false); err != nil {
+		u := a.engine(pen, missSteady(a))
+		u.ic.reset(missSteady(a))
+		u.eng.SetState(join)
+		if _, err := a.runPath(u.eng, fg, p, pen, false); err != nil {
+			a.release(u)
 			return 0, err
 		}
-		if eng.Now() > steady {
-			steady = eng.Now()
+		if u.eng.Now() > steady {
+			steady = u.eng.Now()
 		}
+		a.release(u)
 	}
 
 	// Worst exit path from the joined steady state.
 	exit := int64(0)
 	for _, p := range pv.exit {
-		eng, _ := a.engine(pen, missSteady(a))
-		eng.SetState(join)
-		if _, err := a.runPath(eng, fg, p, pen, false); err != nil {
+		u := a.engine(pen, missSteady(a))
+		u.eng.SetState(join)
+		if _, err := a.runPath(u.eng, fg, p, pen, false); err != nil {
+			a.release(u)
 			return 0, err
 		}
-		if eng.Now() > exit {
-			exit = eng.Now()
+		if u.eng.Now() > exit {
+			exit = u.eng.Now()
 		}
+		a.release(u)
 	}
 
 	total := first + int64(l.Bound-1)*steady + exit
